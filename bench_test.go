@@ -1,0 +1,653 @@
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation, plus ablations for the design choices DESIGN.md calls
+// out. Each figure benchmark measures the cost of regenerating that
+// figure from the (memoized) dataset; where a figure has a headline
+// number, it is attached via b.ReportMetric so `go test -bench` output
+// doubles as a results table.
+package vmp_test
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"vmp"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/device"
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+	"vmp/internal/packaging"
+	"vmp/internal/player"
+	"vmp/internal/simclock"
+	"vmp/internal/syndication"
+	"vmp/internal/triage"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *vmp.Study
+)
+
+// benchSetup builds one strided study shared by all figure benchmarks
+// (stride 6 ≈ 10 of the 59 snapshots; the latest snapshot is always
+// retained) and forces dataset generation so benchmarks time analysis,
+// not generation.
+func benchSetup(b *testing.B) *vmp.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy = vmp.New(vmp.Config{SnapshotStride: 6, QoESessions: 40})
+		benchStudy.Store()
+	})
+	return benchStudy
+}
+
+func BenchmarkTable1ProtocolInference(b *testing.B) {
+	urls := []string{
+		"http://x.akamaihd.net/master.m3u8",
+		"http://x.llwnd.net//Z53TiGRzq.mpd",
+		"http://x.level3.net/56.ism/manifest",
+		"http://x.aws.com/cache/hds.f4m",
+		"rtmp://live.example.com/s1",
+		"http://x.example.com/video.mp4",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, u := range urls {
+			if manifest.InferProtocol(u) == manifest.Unknown {
+				b.Fatal("inference failed")
+			}
+		}
+	}
+}
+
+func BenchmarkFig2ProtocolShares(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var dash float64
+	for i := 0; i < b.N; i++ {
+		dash = s.Fig2b().Latest("DASH")
+		s.Fig2a()
+		s.Fig2c()
+	}
+	b.ReportMetric(dash, "DASH-latest-%VH")
+}
+
+func BenchmarkFig3ProtocolsPerPublisher(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Fig3a()
+		s.Fig3b()
+		s.Fig3c()
+	}
+}
+
+func BenchmarkFig4ProtocolShareCDF(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cdfs := s.Fig4(); len(cdfs) != 2 {
+			b.Fatal("bad Fig4")
+		}
+	}
+}
+
+func BenchmarkFig5PlatformTaxonomy(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if rows := s.Fig5(); len(rows) != 5 {
+			b.Fatal("bad Fig5")
+		}
+	}
+}
+
+func BenchmarkFig6PlatformShares(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var settop float64
+	for i := 0; i < b.N; i++ {
+		settop = s.Fig6a().Latest("SetTop")
+		s.Fig6b()
+		s.Fig6c()
+	}
+	b.ReportMetric(settop, "settop-latest-%VH")
+}
+
+func BenchmarkFig7PlatformSupport(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Fig7()
+	}
+}
+
+func BenchmarkFig8DurationCDFs(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cdfs := s.Fig8(); len(cdfs) == 0 {
+			b.Fatal("bad Fig8")
+		}
+	}
+}
+
+func BenchmarkFig9PlatformsPerPublisher(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Fig9a()
+		s.Fig9b()
+		s.Fig9c()
+	}
+}
+
+func BenchmarkFig10WithinPlatformDevices(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var roku float64
+	for i := 0; i < b.N; i++ {
+		s.Fig10(device.Browser)
+		s.Fig10(device.Mobile)
+		roku = s.Fig10(device.SetTop).Latest("Roku")
+	}
+	b.ReportMetric(roku, "roku-latest-%settopVH")
+}
+
+func BenchmarkFig11CDNShares(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var a float64
+	for i := 0; i < b.N; i++ {
+		s.Fig11a()
+		a = s.Fig11b().Latest("A")
+	}
+	b.ReportMetric(a, "cdnA-latest-%VH")
+}
+
+func BenchmarkFig12CDNsPerPublisher(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var weighted float64
+	for i := 0; i < b.N; i++ {
+		s.Fig12a()
+		s.Fig12b()
+		avg := s.Fig12c()
+		weighted = avg.Weighted[len(avg.Weighted)-1]
+	}
+	b.ReportMetric(weighted, "weighted-avg-CDNs")
+}
+
+func BenchmarkFig13Complexity(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var factor float64
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor = rep.ProtocolTitles.PerDecadeFactor
+	}
+	b.ReportMetric(factor, "protocol-titles-x/decade")
+}
+
+func BenchmarkFig14SyndicationPrevalence(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts, _ := s.Fig14(); len(pts) == 0 {
+			b.Fatal("bad Fig14")
+		}
+	}
+}
+
+func BenchmarkFig15and16QoE(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		comps, err := s.Fig15and16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = comps[0].Owner.MedianKbps / comps[0].Syndicator.MedianKbps
+	}
+	b.ReportMetric(ratio, "owner/synd-median-bitrate")
+}
+
+func BenchmarkFig17LadderTable(b *testing.B) {
+	s := benchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig17(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig18StorageSavings(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	var integrated float64
+	for i := 0; i < b.N; i++ {
+		exp, err := s.Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		integrated = exp.Reports[0].Report.IntegratedPct
+	}
+	b.ReportMetric(integrated, "integrated-%savings")
+}
+
+func BenchmarkDatasetGeneration(b *testing.B) {
+	// The cost of generating one full snapshot across the population.
+	study := vmp.New(vmp.Config{SnapshotStride: 59})
+	snap := study.Eco.Schedule.Latest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if recs := study.Eco.GenerateSnapshot(snap); len(recs) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationDedupTolerance sweeps the dedup tolerance on the
+// Fig 18 origin and reports the savings percentage at each setting.
+func BenchmarkAblationDedupTolerance(b *testing.B) {
+	exps := map[string]float64{"exact": 0, "tol2.5%": 0.025, "tol5%": 0.05, "tol10%": 0.10, "tol20%": 0.20}
+	for name, tol := range exps {
+		tol := tol
+		b.Run(name, func(b *testing.B) {
+			cfg := syndication.DefaultStorageConfig()
+			cfg.Titles = 120 // keep per-iteration cost modest
+			exp, err := syndication.RunStorageExperiment(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = exp
+			origin := cdnsim.NewOrigin()
+			o, s1, s2 := syndication.Fig18Ladders()
+			push := func(pub string, l manifest.Ladder) {
+				m := map[int]int64{}
+				for _, r := range l {
+					m[r.BitrateKbps] = int64(r.BitrateKbps) * 450000
+				}
+				for t := 0; t < 100; t++ {
+					origin.Push(pub, string(rune('a'+t%26))+string(rune('0'+t/26)), m)
+				}
+			}
+			push("O", o)
+			push("S1", s1)
+			push("S2", s2)
+			var saved int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				saved = origin.DedupSavings(tol)
+			}
+			b.ReportMetric(100*float64(saved)/float64(origin.TotalBytes()), "%saved")
+		})
+	}
+}
+
+// BenchmarkAblationABR plays identical sessions under each ABR and
+// reports delivered bitrate and rebuffering, quantifying the algorithm
+// choice the player defaults bake in.
+func BenchmarkAblationABR(b *testing.B) {
+	for _, name := range []string{"buffer", "rate", "bola", "fixed"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			abr, err := player.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := &manifest.Spec{
+				VideoID: "abl", DurationSec: 1200, ChunkSec: 4, AudioKbps: 96,
+				Ladder: packaging.GuidelineLadder(6000, 1.8),
+			}
+			text, err := manifest.Generate(manifest.HLS, spec, "http://cdn/abl")
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := manifest.Parse("http://cdn/abl/abl.m3u8", text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			isp, _ := netmodel.ISPByName("ISP-Y")
+			profile := netmodel.PathProfile(isp, netmodel.Cellular, 0.9)
+			var kbps, rebuf float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := player.Play(player.Config{
+					Manifest: m, ABR: abr,
+					Trace:    profile.NewTrace(dist.NewSource(uint64(i + 1))),
+					WatchSec: 600,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				kbps += res.AvgBitrateKbps
+				rebuf += res.RebufferRatio()
+			}
+			b.ReportMetric(kbps/float64(b.N), "avg-Kbps")
+			b.ReportMetric(100*rebuf/float64(b.N), "avg-%rebuf")
+		})
+	}
+}
+
+// BenchmarkAblationEdgeCache sweeps the edge cache size and reports
+// the hit ratio a fixed Zipf workload achieves.
+func BenchmarkAblationEdgeCache(b *testing.B) {
+	for _, mb := range []int64{64, 256, 1024, 4096} {
+		mb := mb
+		b.Run(byteSizeName(mb), func(b *testing.B) {
+			zipf := dist.NewZipf(5000, 0.9)
+			var ratio float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cache := cdnsim.NewEdgeCache(mb << 20)
+				src := dist.NewSource(9)
+				for j := 0; j < 20000; j++ {
+					obj := zipf.Draw(src)
+					cache.Serve(chunkName(obj), 2<<20)
+				}
+				ratio = cache.HitRatio()
+			}
+			b.ReportMetric(100*ratio, "%hit")
+		})
+	}
+}
+
+func byteSizeName(mb int64) string {
+	switch {
+	case mb >= 1024:
+		return "cap-" + string(rune('0'+mb/1024)) + "GiB"
+	default:
+		return "cap-" + string(rune('0'+mb/100)) + "00MiB"
+	}
+}
+
+func chunkName(i int) string {
+	buf := [12]byte{'c', 'h', 'u', 'n', 'k', '-'}
+	n := 6
+	if i == 0 {
+		buf[n] = '0'
+		n++
+	}
+	for v := i; v > 0; v /= 10 {
+		buf[n] = byte('0' + v%10)
+		n++
+	}
+	return string(buf[:n])
+}
+
+// BenchmarkAblationSnapshotCadence compares the paper's bi-weekly
+// cadence against weekly and monthly schedules: the DASH trend
+// estimate should be cadence-insensitive, while cost scales linearly.
+func BenchmarkAblationSnapshotCadence(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		days int
+	}{{"weekly", 7}, {"biweekly", 14}, {"monthly", 28}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			sched := simclock.MakeSchedule(cfg.days, 2)
+			// Thin to ~6 snapshots to keep per-iteration cost bounded
+			// while preserving the cadence's window positions.
+			var thin simclock.Schedule
+			for i := 0; i < len(sched); i += len(sched)/6 + 1 {
+				thin = append(thin, sched[i])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				study := vmp.New(vmp.Config{})
+				eco := study.Eco
+				var total, dash float64
+				for _, snap := range thin {
+					for _, rec := range eco.GenerateSnapshot(snap) {
+						vh := rec.ViewHours()
+						total += vh
+						if manifest.InferProtocol(rec.URL) == manifest.DASH {
+							dash += vh
+						}
+					}
+				}
+				b.ReportMetric(100*dash/total, "mean-%DASH")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLadderPolicy compares the HLS-guideline ladder
+// against per-title ladders on packaging cost for the same content.
+func BenchmarkAblationLadderPolicy(b *testing.B) {
+	protocols := []manifest.Protocol{manifest.HLS, manifest.DASH}
+	for _, cfg := range []struct {
+		name   string
+		ladder func(i int) manifest.Ladder
+	}{
+		{"guideline", func(i int) manifest.Ladder { return packaging.GuidelineLadder(6000, 1.8) }},
+		{"per-title", func(i int) manifest.Ladder {
+			return packaging.PerTitleLadder(dist.NewSource(uint64(i+1)), 6000, 0.8+0.4*float64(i%3))
+		}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var storage int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				storage = 0
+				for t := 0; t < 50; t++ {
+					spec := manifest.Spec{
+						VideoID: "v", DurationSec: 1800, ChunkSec: 4, AudioKbps: 96,
+						Ladder: cfg.ladder(t),
+					}
+					_, cost, err := packaging.Pipeline(spec, protocols, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					storage += cost.StorageBytes
+				}
+			}
+			b.ReportMetric(float64(storage)/1e9, "GB-per-50-titles")
+		})
+	}
+}
+
+// BenchmarkAblationAnycast quantifies §4.3's observation that anycast
+// route instability is not a blocking factor: it plays sessions on an
+// anycast CDN at increasing route-flip rates and reports the mean
+// rebuffering ratio.
+func BenchmarkAblationAnycast(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		prob float64
+	}{
+		{"no-flips", 0},
+		{"realistic-0.2pct", 0.002},
+		{"stressed-2pct", 0.02},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			spec := &manifest.Spec{
+				VideoID: "any", DurationSec: 1200, ChunkSec: 4, AudioKbps: 96,
+				Ladder: packaging.GuidelineLadder(6000, 1.8),
+			}
+			text, err := manifest.Generate(manifest.HLS, spec, "http://cdn/any")
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := manifest.Parse("http://cdn/any/any.m3u8", text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			anycast := cdnsim.NewCDN("B", true, true, 8<<30)
+			isp, _ := netmodel.ISPByName("ISP-X")
+			profile := netmodel.PathProfile(isp, netmodel.WiFi, 1.0)
+			var rebuf, flips float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var flipSrc *dist.Source
+				if cfg.prob > 0 {
+					flipSrc = dist.NewSource(uint64(9000 + i))
+				}
+				res, err := player.Play(player.Config{
+					Manifest: m, ABR: player.BufferBased{},
+					Trace: profile.NewTrace(dist.NewSource(uint64(i + 1))),
+					CDN:   anycast, ISP: isp.Name, WatchSec: 900,
+					RouteFlipSrc: flipSrc, RouteFlipPerChunk: cfg.prob,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rebuf += res.RebufferRatio()
+				flips += float64(res.RouteFlips)
+			}
+			b.ReportMetric(100*rebuf/float64(b.N), "avg-%rebuf")
+			b.ReportMetric(flips/float64(b.N), "flips/session")
+		})
+	}
+}
+
+// BenchmarkAblationIntegrationModel compares the syndicator's QoE
+// under the three §6 integration models on one slice.
+func BenchmarkAblationIntegrationModel(b *testing.B) {
+	cat := syndication.StarCatalogue()
+	s7, _ := cat.SyndicatorByID("S7")
+	cdns := cdnsim.NewRegistry(dist.NewSource(1))
+	cdnA, _ := cdns.ByName("A")
+	ispX, _ := netmodel.ISPByName("ISP-X")
+	for _, model := range []syndication.IntegrationModel{
+		syndication.Independent, syndication.APIIntegrated, syndication.AppIntegrated,
+	} {
+		model := model
+		b.Run(model.String(), func(b *testing.B) {
+			slice := syndication.QoESlice{ISP: ispX, Conn: netmodel.Cellular, CDN: cdnA,
+				Sessions: 30, WatchSec: 600, Seed: 21}
+			var median float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := syndication.MeasureIntegration(cat.Owner, s7, cat.TitleID, model, slice)
+				if err != nil {
+					b.Fatal(err)
+				}
+				median = d.MedianKbps
+			}
+			b.ReportMetric(median, "synd-median-Kbps")
+		})
+	}
+}
+
+// BenchmarkAblationChunkDuration sweeps the chunk duration, the
+// packaging knob trading live latency (§4.1) against delivery
+// robustness: longer chunks add glass-to-glass delay.
+func BenchmarkAblationChunkDuration(b *testing.B) {
+	for _, chunkSec := range []float64{2, 4, 6, 10} {
+		chunkSec := chunkSec
+		b.Run(fmt.Sprintf("chunk-%gs", chunkSec), func(b *testing.B) {
+			liveSpec := manifest.Spec{
+				VideoID: "cd", ChunkSec: chunkSec, Live: true, AudioKbps: 96,
+				Ladder: packaging.GuidelineLadder(5000, 1.8),
+			}
+			lat, err := packaging.GlassToGlass(liveSpec, packaging.SelfHosted, 2, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			text, err := manifest.Generate(manifest.HLS, &liveSpec, "http://cdn/cd")
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := manifest.Parse("http://cdn/cd/cd.m3u8", text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			isp, _ := netmodel.ISPByName("ISP-Y")
+			profile := netmodel.PathProfile(isp, netmodel.Cellular, 0.9)
+			var rebuf float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := player.Play(player.Config{
+					Manifest: m, ABR: player.BufferBased{},
+					Trace:    profile.NewTrace(dist.NewSource(uint64(i + 1))),
+					WatchSec: 600,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rebuf += res.RebufferRatio()
+			}
+			b.ReportMetric(lat.Total(), "glass-to-glass-sec")
+			b.ReportMetric(100*rebuf/float64(b.N), "avg-%rebuf")
+		})
+	}
+}
+
+// BenchmarkAblationPackagingLocation compares self-hosted against
+// CDN-hosted packaging (§2) on compute and publisher-uplink bytes for
+// a large publisher's configuration.
+func BenchmarkAblationPackagingLocation(b *testing.B) {
+	spec := manifest.Spec{
+		VideoID: "loc", DurationSec: 3600, ChunkSec: 4, AudioKbps: 96,
+		Ladder: packaging.GuidelineLadder(8000, 1.7),
+	}
+	for _, loc := range []packaging.Location{packaging.SelfHosted, packaging.CDNHosted} {
+		loc := loc
+		b.Run(loc.String(), func(b *testing.B) {
+			var plan *packaging.Plan
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err = packaging.PlanPipeline(loc, spec, manifest.HTTPProtocols, true, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(plan.PublisherCPU+plan.CDNCPU, "cpu-sec")
+			b.ReportMetric(float64(plan.UploadBytes)/1e9, "uplink-GB")
+		})
+	}
+}
+
+// BenchmarkTriageLocalization measures failure triaging over one
+// snapshot of the population with an injected interaction fault, and
+// reports how many combinations had to be aggregated — the §5 cost
+// driver.
+func BenchmarkTriageLocalization(b *testing.B) {
+	eco := vmp.New(vmp.Config{SnapshotStride: 59}).Eco
+	recs := eco.GenerateSnapshot(eco.Schedule.Latest())
+	inj, err := triage.NewInjector(0.01, dist.NewSource(5), triage.Fault{
+		Match:    triage.Combination{CDN: "E"},
+		FailProb: 0.4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj.Apply(recs)
+	b.ResetTimer()
+	var combos int
+	for i := 0; i < b.N; i++ {
+		findings, tr, err := triage.Run(recs, triage.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) == 0 {
+			b.Fatal("fault not localized")
+		}
+		combos = tr.CombinationsTracked()
+	}
+	b.ReportMetric(float64(combos), "combinations")
+}
+
+// BenchmarkRenderAll measures end-to-end rendering of the whole study.
+func BenchmarkRenderAll(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RenderAll(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command vmpcollector runs the telemetry collector backend: an HTTP
+// service that ingests JSON-lines view records on POST /v1/views and
+// reports counters on GET /v1/stats — the simulation's counterpart of
+// the streaming-analytics backend described in §3.
+//
+// Usage:
+//
+//	vmpcollector -addr :8473
+//	vmpgen -stride 8 | curl --data-binary @- http://localhost:8473/v1/views
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vmp/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8473", "listen address")
+		interval = flag.Duration("log-every", time.Minute, "how often to log store size")
+		load     = flag.String("load", "", "JSONL dataset to preload into the store")
+		dump     = flag.String("dump", "", "JSONL file to write the store to on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	collector := telemetry.NewCollector(nil)
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			log.Fatal(fmt.Errorf("collector: %w", err))
+		}
+		recs, err := telemetry.DecodeJSONL(bufio.NewReaderSize(f, 1<<20))
+		f.Close()
+		if err != nil {
+			log.Fatal(fmt.Errorf("collector: loading %s: %w", *load, err))
+		}
+		collector.Store().Append(recs...)
+		log.Printf("collector: preloaded %d records from %s", len(recs), *load)
+	}
+	if *dump != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := dumpStore(collector.Store(), *dump); err != nil {
+				log.Printf("collector: dump failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("collector: dumped %d records to %s", collector.Store().Len(), *dump)
+			os.Exit(0)
+		}()
+	}
+	go func() {
+		for range time.Tick(*interval) {
+			log.Printf("collector: %d records stored, %.1f view-hours",
+				collector.Store().Len(), collector.Store().TotalViewHours())
+		}
+	}()
+	log.Printf("collector: listening on %s", *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           collector.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(fmt.Errorf("collector: %w", err))
+	}
+}
+
+// dumpStore writes the store as JSON lines.
+func dumpStore(store *telemetry.Store, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := telemetry.EncodeJSONL(w, store.All()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,51 @@
+// Command vmpgen generates the synthetic view-record dataset as JSON
+// lines — the wire format the collector ingests and ReadDataset
+// parses.
+//
+// Usage:
+//
+//	vmpgen -o views.jsonl            # full 27-month dataset
+//	vmpgen -stride 8 | head          # thinned, to stdout
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vmp"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 0, "population seed (0 = default)")
+		stride = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
+		out    = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		bw := bufio.NewWriterSize(f, 1<<20)
+		defer bw.Flush()
+		w = bw
+	}
+
+	study := vmp.New(vmp.Config{Seed: *seed, SnapshotStride: *stride})
+	if err := vmp.WriteDataset(study, w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "vmpgen: wrote %d records\n", study.Store().Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmpgen:", err)
+	os.Exit(1)
+}

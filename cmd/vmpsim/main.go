@@ -1,0 +1,144 @@
+// Command vmpsim plays adaptive-streaming sessions through the full
+// delivery path — manifest generation and parsing, CDN edge caches,
+// stochastic network paths, ABR — and prints the measured QoE
+// distribution. It is the interactive face of the machinery behind
+// Figs 15 and 16.
+//
+// Usage:
+//
+//	vmpsim -publisher O  -isp ISP-X -cdn A -sessions 200
+//	vmpsim -publisher S7 -isp ISP-Y -cdn B -conn 4G -abr buffer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+	"vmp/internal/player"
+	"vmp/internal/stats"
+	"vmp/internal/syndication"
+)
+
+func main() {
+	var (
+		pub      = flag.String("publisher", "O", "ladder to play: O (owner) or S1..S10")
+		ispName  = flag.String("isp", "ISP-X", "client ISP (ISP-X, ISP-Y, ISP-Z, ISP-W)")
+		cdnName  = flag.String("cdn", "A", "serving CDN (A-E or R05..R35)")
+		connName = flag.String("conn", "WiFi", "connection type: WiFi, 4G, Wired")
+		abrName  = flag.String("abr", "buffer", "ABR algorithm: buffer, rate, bola, fixed, oboe")
+		sessions = flag.Int("sessions", 100, "number of playback sessions")
+		watch    = flag.Float64("watch", 1200, "intended watch time per session (seconds)")
+		seed     = flag.Uint64("seed", 1, "randomness seed")
+	)
+	flag.Parse()
+
+	cat := syndication.StarCatalogue()
+	ladder := cat.Owner
+	if *pub != "O" {
+		var ok bool
+		ladder, ok = cat.SyndicatorByID(*pub)
+		if !ok {
+			fatal(fmt.Errorf("unknown publisher %q (want O or S1..S10)", *pub))
+		}
+	}
+	isp, ok := netmodel.ISPByName(*ispName)
+	if !ok {
+		fatal(fmt.Errorf("unknown ISP %q", *ispName))
+	}
+	var conn netmodel.ConnType
+	switch *connName {
+	case "WiFi":
+		conn = netmodel.WiFi
+	case "4G":
+		conn = netmodel.Cellular
+	case "Wired":
+		conn = netmodel.Wired
+	default:
+		fatal(fmt.Errorf("unknown connection type %q", *connName))
+	}
+	var oboeTable *player.OboeTable
+	if *abrName == "oboe" {
+		var err error
+		oboeTable, err = player.BuildOboeTable(ladder.Ladder, 4, dist.NewSource(*seed))
+		if err != nil {
+			fatal(err)
+		}
+	} else if _, err := player.ByName(*abrName); err != nil {
+		fatal(err)
+	}
+	newABR := func() player.ABR {
+		if oboeTable != nil {
+			return &player.AutoTuned{Table: oboeTable}
+		}
+		abr, _ := player.ByName(*abrName)
+		return abr
+	}
+	cdns := cdnsim.NewRegistry(dist.NewSource(1))
+	cdn, ok := cdns.ByName(*cdnName)
+	if !ok {
+		fatal(fmt.Errorf("unknown CDN %q", *cdnName))
+	}
+
+	spec := &manifest.Spec{
+		VideoID:     ladder.ID + "-demo",
+		DurationSec: 2 * *watch,
+		ChunkSec:    4,
+		AudioKbps:   96,
+		Ladder:      ladder.Ladder,
+	}
+	base := fmt.Sprintf("http://cdn-%s.example.net/%s", cdn.Name, ladder.ID)
+	text, err := manifest.Generate(manifest.HLS, spec, base)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := manifest.Parse(manifest.ManifestURL(manifest.HLS, base, spec.VideoID), text)
+	if err != nil {
+		fatal(err)
+	}
+
+	profile := netmodel.PathProfile(isp, conn, cdn.Quality(isp.Name))
+	root := dist.NewSource(*seed)
+	var bitrates, rebufs, startups []float64
+	for i := 0; i < *sessions; i++ {
+		res, err := player.Play(player.Config{
+			Manifest: m,
+			ABR:      newABR(),
+			Trace:    profile.NewTrace(root.Splitf("session", i)),
+			CDN:      cdn,
+			ISP:      isp.Name,
+			WatchSec: *watch,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bitrates = append(bitrates, res.AvgBitrateKbps)
+		rebufs = append(rebufs, 100*res.RebufferRatio())
+		startups = append(startups, res.StartupSec)
+	}
+
+	fmt.Printf("publisher %s on %s via CDN %s over %s (%d sessions, %s ABR)\n",
+		ladder.ID, isp.Name, cdn.Name, conn, *sessions, *abrName)
+	fmt.Printf("  ladder: %d renditions [%d..%d Kbps]\n",
+		len(ladder.Ladder), ladder.Ladder.Min(), ladder.Ladder.Max())
+	printDist("avg bitrate (Kbps)", bitrates)
+	printDist("rebuffering (%)   ", rebufs)
+	printDist("startup (s)       ", startups)
+	edge := cdn.Edge(isp.Name)
+	fmt.Printf("  edge cache hit ratio: %.1f%%\n", 100*edge.HitRatio())
+}
+
+func printDist(name string, xs []float64) {
+	e := stats.NewECDF(xs)
+	fmt.Printf("  %s p25=%.1f p50=%.1f p75=%.1f p90=%.1f\n",
+		name, e.MustQuantile(0.25), e.MustQuantile(0.5), e.MustQuantile(0.75), e.MustQuantile(0.9))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmpsim:", err)
+	os.Exit(1)
+}

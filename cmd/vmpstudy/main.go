@@ -1,0 +1,89 @@
+// Command vmpstudy regenerates the paper's tables and figures from the
+// synthetic ecosystem.
+//
+// Usage:
+//
+//	vmpstudy -figure 2b            # one figure
+//	vmpstudy -figure all           # the whole study
+//	vmpstudy -figure 18 -o fig18.txt
+//
+// The -stride flag thins the bi-weekly snapshot schedule for quick
+// runs; -seed changes the synthetic population.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vmp"
+)
+
+func main() {
+	var (
+		figure    = flag.String("figure", "all", "table/figure ID to regenerate, or 'all'")
+		seed      = flag.Uint64("seed", 0, "population seed (0 = default)")
+		stride    = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
+		sessions  = flag.Int("sessions", 150, "playback sessions per publisher for Figs 15/16")
+		out       = flag.String("o", "", "output file (default stdout)")
+		format    = flag.String("format", "text", "output format: text or csv")
+		list      = flag.Bool("list", false, "list figure IDs and exit")
+		scorecard = flag.Bool("scorecard", false, "render the paper-vs-measured scorecard and exit non-zero on failures")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range vmp.Figures {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	study := vmp.New(vmp.Config{Seed: *seed, SnapshotStride: *stride, QoESessions: *sessions})
+	if *scorecard {
+		failures, err := study.RenderScorecard(w)
+		if err != nil {
+			fatal(err)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	var err error
+	switch *format {
+	case "text":
+		if *figure == "all" {
+			err = study.RenderAll(w)
+		} else {
+			err = study.Render(w, *figure)
+		}
+	case "csv":
+		if *figure == "all" {
+			err = fmt.Errorf("-format csv requires a single -figure")
+		} else {
+			err = study.RenderCSV(w, *figure)
+		}
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmpstudy:", err)
+	os.Exit(1)
+}

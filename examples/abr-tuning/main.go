@@ -1,0 +1,92 @@
+// ABR tuning: §1 motivates studying the management plane partly by
+// "the effort needed to incorporate control plane innovations such as
+// new bitrate selection algorithms". This example incorporates one —
+// an Oboe-style auto-tuner (Akhtar et al., SIGCOMM 2018, the paper's
+// reference [48]) — and compares it against the fixed ABR defaults
+// across heterogeneous network paths.
+//
+//	go run ./examples/abr-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+	"vmp/internal/packaging"
+	"vmp/internal/player"
+	"vmp/internal/stats"
+)
+
+func main() {
+	ladder := packaging.GuidelineLadder(8000, 1.8)
+	fmt.Println("== ABR auto-tuning across heterogeneous paths ==")
+	fmt.Print("building the offline tuning table... ")
+	table, err := player.BuildOboeTable(ladder, 4, dist.NewSource(2024))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done (%d network states)\n\n", len(table.States()))
+
+	spec := &manifest.Spec{
+		VideoID: "tune-demo", DurationSec: 1200, ChunkSec: 4, AudioKbps: 96, Ladder: ladder,
+	}
+	text, err := manifest.Generate(manifest.HLS, spec, "http://cdn/demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := manifest.Parse("http://cdn/demo/tune-demo.m3u8", text)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	paths := []struct {
+		name string
+		prof netmodel.Profile
+	}{
+		{"volatile 4G (1.5 Mbps, high variance)", netmodel.Profile{MeanKbps: 1500, Sigma: 0.65, Rho: 0.85, RTTms: 55}},
+		{"stable cable (7 Mbps)", netmodel.Profile{MeanKbps: 7000, Sigma: 0.25, Rho: 0.85, RTTms: 20}},
+		{"fast but bursty fiber (16 Mbps)", netmodel.Profile{MeanKbps: 16000, Sigma: 0.65, Rho: 0.85, RTTms: 12}},
+	}
+	abrs := []struct {
+		name string
+		mk   func() player.ABR
+	}{
+		{"buffer (default)", func() player.ABR { return player.BufferBased{} }},
+		{"buffer (mis-tuned)", func() player.ABR { return player.BufferBased{ReservoirSec: 1, CushionSec: 8} }},
+		{"rate", func() player.ABR { return player.RateBased{} }},
+		{"bola", func() player.ABR { return player.BOLA{} }},
+		{"oboe (auto-tuned)", func() player.ABR { return &player.AutoTuned{Table: table} }},
+	}
+	const sessions = 40
+	for _, path := range paths {
+		fmt.Println(path.name + ":")
+		for _, abr := range abrs {
+			var kbps, rebuf []float64
+			for k := 0; k < sessions; k++ {
+				res, err := player.Play(player.Config{
+					Manifest: m,
+					ABR:      abr.mk(),
+					Trace:    path.prof.NewTrace(dist.NewSource(uint64(1000 + k))),
+					WatchSec: 500,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				kbps = append(kbps, res.AvgBitrateKbps)
+				rebuf = append(rebuf, 100*res.RebufferRatio())
+			}
+			eK := stats.NewECDF(kbps)
+			eR := stats.NewECDF(rebuf)
+			fmt.Printf("  %-18s median %5.0f Kbps, p90 rebuffering %5.2f%%\n",
+				abr.name, eK.MustQuantile(0.5), eR.MustQuantile(0.9))
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading: a well-chosen fixed configuration is competitive, but a badly")
+	fmt.Println("chosen one hurts on volatile paths; the auto-tuner removes that risk at")
+	fmt.Println("the cost of one more management-plane component to build, ship to every")
+	fmt.Println("device SDK, and keep tuned (§5's software-maintenance complexity).")
+}

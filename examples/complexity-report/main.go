@@ -1,0 +1,57 @@
+// Complexity report: the §5 scorecard — evaluate every publisher's
+// management-plane complexity (failure-triaging combinations,
+// packaging load, SDK maintenance burden) and show how each metric
+// scales with publisher size.
+//
+//	go run ./examples/complexity-report
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"vmp/internal/complexity"
+	"vmp/internal/ecosystem"
+)
+
+func main() {
+	eco := ecosystem.New(ecosystem.Config{SnapshotStride: 8})
+	if err := eco.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	latest := eco.Schedule.Latest().Start
+	invs := eco.InventoryAt(latest)
+
+	rep, err := complexity.Analyze(invs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== management-plane complexity scorecard (latest snapshot) ==")
+	fmt.Println()
+	for _, c := range []complexity.Correlation{rep.Combinations, rep.ProtocolTitles, rep.UniqueSDKs} {
+		fmt.Printf("%-32s grows %.2fx per 10x view-hours (R²=%.2f, p=%.1e)\n",
+			c.Metric.String(), c.PerDecadeFactor, c.Fit.R2, c.Fit.PValue)
+	}
+	fmt.Printf("%-32s %d code bases at the largest publisher (paper: up to 85)\n",
+		"peak SDK-version burden:", int(rep.MaxUniqueSDKs))
+	fmt.Println()
+
+	// Per-publisher scorecard for the five largest and five smallest.
+	sort.Slice(invs, func(i, j int) bool { return invs[i].DailyVH > invs[j].DailyVH })
+	fmt.Println("publisher scorecards (top 5 and bottom 5 by view-hours):")
+	fmt.Printf("  %-8s %12s %6s %5s %8s %6s %8s\n",
+		"pub", "daily VH", "protos", "CDNs", "devices", "SDKs", "combos")
+	show := append(append([]ecosystem.Inventory{}, invs[:5]...), invs[len(invs)-5:]...)
+	for _, inv := range show {
+		fmt.Printf("  %-8s %12.1f %6d %5d %8d %6d %8.0f\n",
+			inv.Publisher, inv.DailyVH,
+			len(inv.Protocols), len(inv.CDNs), len(inv.DeviceModels),
+			len(inv.SDKVersions), complexity.Combinations.Of(inv))
+	}
+	fmt.Println()
+	fmt.Println("reading: complexity is sub-linear in size — a 10x bigger publisher")
+	fmt.Println("carries well under 10x the complexity, but even small publishers")
+	fmt.Println("operate multi-protocol, multi-device management planes (§5's")
+	fmt.Println("barrier-to-entry observation).")
+}

@@ -1,0 +1,64 @@
+// Failure triage: the §5 task that motivates the management-plane
+// combinations metric. Inject faults into the synthetic population's
+// view records — a whole-CDN outage and the paper's own example, a
+// Chromecast×SmoothStreaming×CDN triple interaction — then let the
+// triager localize them by aggregating failure reports across every
+// management-plane combination.
+//
+//	go run ./examples/failure-triage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmp/internal/dist"
+	"vmp/internal/ecosystem"
+	"vmp/internal/triage"
+)
+
+func main() {
+	eco := ecosystem.New(ecosystem.Config{SnapshotStride: 59})
+	recs := eco.GenerateSnapshot(eco.Schedule.Latest())
+	fmt.Printf("== failure triage over %d sampled views ==\n\n", len(recs))
+
+	faults := []triage.Fault{
+		// A triple interaction in the spirit of the paper's example
+		// ("a failure caused by the interaction between a Chromecast
+		// implementation using SmoothStreaming on a specific CDN"):
+		// here, CDN A's DASH packaging breaks Roku playback.
+		{Match: triage.Combination{CDN: "A", Protocol: "DASH", Device: "Roku"}, FailProb: 0.65},
+		// And a whole CDN having a bad day.
+		{Match: triage.Combination{CDN: "E"}, FailProb: 0.35},
+	}
+	inj, err := triage.NewInjector(0.012, dist.NewSource(99), faults...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := inj.Apply(recs)
+	fmt.Printf("injected faults: %d of %d views failed (base rate 1.2%%)\n", failed, len(recs))
+	for _, f := range faults {
+		fmt.Printf("  ground truth: %v fails at %.0f%%\n", f.Match, 100*f.FailProb)
+	}
+	fmt.Println()
+
+	findings, triager, err := triage.Run(recs, triage.Config{MinSupport: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triager aggregated %d management-plane combinations (baseline failure rate %.2f%%)\n\n",
+		triager.CombinationsTracked(), 100*triager.BaselineRate())
+	if len(findings) == 0 {
+		fmt.Println("no anomalies found")
+		return
+	}
+	fmt.Println("localized root causes (most anomalous first):")
+	for _, f := range findings {
+		fmt.Printf("  %-48s rate %5.1f%%  lift %5.1fx  (%d of %d views)\n",
+			f.Combination, 100*f.FailureRate, f.LiftOverBaseline, f.Failures, f.Views)
+	}
+	fmt.Println()
+	fmt.Println("note how the interaction bug is reported as the full triple — neither")
+	fmt.Println("the device, the protocol, nor the CDN is anomalous on its own, which is")
+	fmt.Println("exactly why triaging cost scales with the combination count (§5).")
+}

@@ -1,0 +1,3 @@
+module vmp
+
+go 1.22

@@ -1,0 +1,76 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"vmp/internal/ecosystem"
+	"vmp/internal/telemetry"
+)
+
+func deviceNameDim(r *telemetry.ViewRecord) []string { return []string{r.Device} }
+
+func TestCrossTabBasics(t *testing.T) {
+	recs := []telemetry.ViewRecord{
+		mk("p1", 0, "http://c/a.m3u8", "iPhone", []string{"A"}, 3600, 1, false),
+		mk("p1", 0, "http://c/b.mpd", "Roku", []string{"A"}, 3600, 1, false),
+		mk("p1", 0, "http://c/c.m3u8", "Roku", []string{"A"}, 3600, 2, false),
+	}
+	ct := Cross(recs, deviceNameDim, ProtocolDim)
+	if ct.Total != 4 {
+		t.Fatalf("total = %v, want 4 view-hours", ct.Total)
+	}
+	if got := ct.At("iPhone", "HLS"); got != 1 {
+		t.Errorf("iPhone×HLS = %v, want 1", got)
+	}
+	if got := ct.At("Roku", "DASH"); got != 1 {
+		t.Errorf("Roku×DASH = %v, want 1", got)
+	}
+	if got := ct.RowShare("Roku", "HLS"); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Roku HLS row share = %v, want 2/3", got)
+	}
+	if got := ct.ColShare("Roku", "HLS"); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Roku HLS col share = %v, want 2/3", got)
+	}
+	if ct.At("Xbox", "HLS") != 0 || ct.RowShare("Xbox", "HLS") != 0 || ct.ColShare("Xbox", "HLS") != 0 {
+		t.Error("missing cells should read 0")
+	}
+}
+
+func TestCrossTabMultiValueSplit(t *testing.T) {
+	recs := []telemetry.ViewRecord{
+		mk("p1", 0, "http://c/a.m3u8", "Roku", []string{"A", "B"}, 3600, 1, false),
+	}
+	ct := Cross(recs, CDNDim, ProtocolDim)
+	if got := ct.At("A", "HLS"); got != 0.5 {
+		t.Fatalf("A×HLS = %v, want 0.5 (split across 2 CDNs)", got)
+	}
+	if ct.Total != 1 {
+		t.Fatalf("total = %v, want 1", ct.Total)
+	}
+}
+
+// TestCrossTabAppleHLSOnly verifies, on real generated records, the
+// §2 constraint end to end: every view-hour on an Apple device was
+// served over HLS.
+func TestCrossTabAppleHLSOnly(t *testing.T) {
+	e := ecosystem.New(ecosystem.Config{SnapshotStride: 59})
+	recs := e.GenerateSnapshot(e.Schedule.Latest())
+	ct := Cross(recs, deviceNameDim, ProtocolDim)
+	for _, dev := range []string{"iPhone", "iPad", "AppleTV"} {
+		if share := ct.RowShare(dev, "HLS"); share != 1 {
+			t.Errorf("%s HLS share = %v, want 1.0 (Apple devices are HLS-only)", dev, share)
+		}
+	}
+	// Silverlight is SmoothStreaming-only.
+	if share := ct.RowShare("Silverlight", "SmoothStreaming"); share != 1 {
+		t.Errorf("Silverlight Smooth share = %v, want 1.0", share)
+	}
+}
+
+func TestCrossTabEmpty(t *testing.T) {
+	ct := Cross(nil, deviceNameDim, ProtocolDim)
+	if ct.Total != 0 || len(ct.RowKeys) != 0 {
+		t.Fatal("empty input should yield an empty table")
+	}
+}

@@ -1,0 +1,137 @@
+package cdnsim
+
+import (
+	"sort"
+	"sync"
+
+	"vmp/internal/dist"
+)
+
+// Monitor aggregates per-CDN session quality, the monitoring and
+// fault-isolation service §2 describes brokers providing ("Even some
+// publishers who only use a single CDN use a CDN broker for management
+// services such as monitoring and fault isolation"). Scores are
+// exponentially-weighted moving averages of a caller-defined quality
+// signal (e.g. delivered bitrate, or 1 − rebuffer ratio). Monitor is
+// safe for concurrent use.
+type Monitor struct {
+	mu    sync.RWMutex
+	alpha float64
+	ewma  map[string]float64
+	count map[string]int64
+}
+
+// NewMonitor returns a monitor smoothing with factor alpha in (0, 1];
+// out-of-range values default to 0.2 (recent sessions dominate within
+// a few reports).
+func NewMonitor(alpha float64) *Monitor {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &Monitor{
+		alpha: alpha,
+		ewma:  make(map[string]float64),
+		count: make(map[string]int64),
+	}
+}
+
+// Record feeds one session's quality score for a CDN.
+func (m *Monitor) Record(cdnName string, score float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count[cdnName] == 0 {
+		m.ewma[cdnName] = score
+	} else {
+		m.ewma[cdnName] = m.alpha*score + (1-m.alpha)*m.ewma[cdnName]
+	}
+	m.count[cdnName]++
+}
+
+// Score returns the smoothed quality for a CDN and whether any session
+// has reported for it.
+func (m *Monitor) Score(cdnName string) (float64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.count[cdnName] == 0 {
+		return 0, false
+	}
+	return m.ewma[cdnName], true
+}
+
+// Sessions returns the number of sessions recorded for a CDN.
+func (m *Monitor) Sessions(cdnName string) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count[cdnName]
+}
+
+// Ranked returns the monitored CDN names best-first; unmonitored CDNs
+// are absent.
+func (m *Monitor) Ranked() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.ewma))
+	for name := range m.ewma {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if m.ewma[names[i]] != m.ewma[names[j]] {
+			return m.ewma[names[i]] > m.ewma[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// AdaptiveWeights rescales assignment weights by monitored quality
+// relative to the best-scoring eligible CDN: a CDN delivering half the
+// best CDN's quality receives half its configured share (floored so no
+// CDN starves entirely and recovery remains observable). Assignments
+// without telemetry keep their configured weight. The returned slice
+// is a modified copy.
+func (m *Monitor) AdaptiveWeights(assignments []Assignment, live bool) []Assignment {
+	const floor = 0.05
+	out := make([]Assignment, len(assignments))
+	copy(out, assignments)
+	best := 0.0
+	for _, a := range out {
+		if a.CDN == nil {
+			continue
+		}
+		if live && a.VoDOnly || !live && a.LiveOnly {
+			continue
+		}
+		if s, ok := m.Score(a.CDN.Name); ok && s > best {
+			best = s
+		}
+	}
+	if best <= 0 {
+		return out
+	}
+	for i := range out {
+		a := &out[i]
+		if a.CDN == nil {
+			continue
+		}
+		s, ok := m.Score(a.CDN.Name)
+		if !ok {
+			continue
+		}
+		factor := s / best
+		if factor < floor {
+			factor = floor
+		}
+		a.Weight *= factor
+	}
+	return out
+}
+
+// SelectAdaptive is Broker.Select with monitor feedback applied: the
+// data-driven CDN selection loop of C3/CFA-style control planes that
+// the paper cites publishers delegating to brokers.
+func (b Broker) SelectAdaptive(assignments []Assignment, live bool, src *dist.Source, monitor *Monitor) *CDN {
+	if monitor == nil {
+		return b.Select(assignments, live, src)
+	}
+	return b.Select(monitor.AdaptiveWeights(assignments, live), live, src)
+}

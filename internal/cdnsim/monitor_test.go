@@ -1,0 +1,157 @@
+package cdnsim
+
+import (
+	"sync"
+	"testing"
+
+	"vmp/internal/dist"
+)
+
+func TestMonitorEWMA(t *testing.T) {
+	m := NewMonitor(0.5)
+	m.Record("A", 10)
+	if s, ok := m.Score("A"); !ok || s != 10 {
+		t.Fatalf("first score = %v, %v", s, ok)
+	}
+	m.Record("A", 0)
+	if s, _ := m.Score("A"); s != 5 {
+		t.Fatalf("EWMA(0.5) after 10,0 = %v, want 5", s)
+	}
+	if _, ok := m.Score("B"); ok {
+		t.Fatal("unreported CDN has a score")
+	}
+	if m.Sessions("A") != 2 || m.Sessions("B") != 0 {
+		t.Fatal("session counters wrong")
+	}
+}
+
+func TestMonitorAlphaDefault(t *testing.T) {
+	m := NewMonitor(-1)
+	m.Record("A", 10)
+	m.Record("A", 0)
+	if s, _ := m.Score("A"); s != 8 { // alpha 0.2 → 0.2*0 + 0.8*10
+		t.Fatalf("default alpha score = %v, want 8", s)
+	}
+}
+
+func TestMonitorRanked(t *testing.T) {
+	m := NewMonitor(1)
+	m.Record("C", 3)
+	m.Record("A", 9)
+	m.Record("B", 6)
+	got := m.Ranked()
+	want := []string{"A", "B", "C"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranked = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAdaptiveWeights(t *testing.T) {
+	reg := NewRegistry(dist.NewSource(1))
+	a, _ := reg.ByName("A")
+	b, _ := reg.ByName("B")
+	c, _ := reg.ByName("C")
+	assigns := []Assignment{
+		{CDN: a, Weight: 1},
+		{CDN: b, Weight: 1},
+		{CDN: c, Weight: 1},
+	}
+	m := NewMonitor(1)
+	m.Record("A", 8000)
+	m.Record("B", 2000) // B delivering a quarter of A's quality
+	out := m.AdaptiveWeights(assigns, false)
+	if out[0].Weight != 1 {
+		t.Errorf("best CDN weight = %v, want unchanged 1", out[0].Weight)
+	}
+	if out[1].Weight != 0.25 {
+		t.Errorf("degraded CDN weight = %v, want 0.25", out[1].Weight)
+	}
+	if out[2].Weight != 1 {
+		t.Errorf("unmonitored CDN weight = %v, want unchanged", out[2].Weight)
+	}
+	// The original slice must not be mutated.
+	if assigns[1].Weight != 1 {
+		t.Fatal("AdaptiveWeights mutated its input")
+	}
+}
+
+func TestAdaptiveWeightsFloor(t *testing.T) {
+	reg := NewRegistry(dist.NewSource(1))
+	a, _ := reg.ByName("A")
+	b, _ := reg.ByName("B")
+	m := NewMonitor(1)
+	m.Record("A", 10000)
+	m.Record("B", 1) // essentially dead
+	out := m.AdaptiveWeights([]Assignment{{CDN: a, Weight: 1}, {CDN: b, Weight: 1}}, false)
+	if out[1].Weight < 0.049 || out[1].Weight > 0.051 {
+		t.Fatalf("dead CDN weight = %v, want the 0.05 floor", out[1].Weight)
+	}
+}
+
+func TestSelectAdaptiveShiftsTraffic(t *testing.T) {
+	reg := NewRegistry(dist.NewSource(1))
+	a, _ := reg.ByName("A")
+	b, _ := reg.ByName("B")
+	assigns := []Assignment{{CDN: a, Weight: 1}, {CDN: b, Weight: 1}}
+	m := NewMonitor(1)
+	m.Record("A", 9000)
+	m.Record("B", 900)
+	var broker Broker
+	src := dist.NewSource(5)
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[broker.SelectAdaptive(assigns, false, src, m).Name]++
+	}
+	fracB := float64(counts["B"]) / 10000
+	// B's weight should drop to ~0.1 of A's: ≈ 9% of traffic.
+	if fracB > 0.15 {
+		t.Fatalf("degraded CDN still gets %.2f of traffic", fracB)
+	}
+	// Nil monitor falls back to plain selection.
+	counts = map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[broker.SelectAdaptive(assigns, false, src, nil).Name]++
+	}
+	if f := float64(counts["B"]) / 10000; f < 0.4 {
+		t.Fatalf("nil monitor should restore 50/50, got B=%.2f", f)
+	}
+}
+
+func TestAdaptiveWeightsRespectSegregation(t *testing.T) {
+	reg := NewRegistry(dist.NewSource(1))
+	a, _ := reg.ByName("A")
+	b, _ := reg.ByName("B")
+	// B is live-only and the only monitored CDN: for VoD it must not
+	// become the "best" reference.
+	m := NewMonitor(1)
+	m.Record("B", 9000)
+	out := m.AdaptiveWeights([]Assignment{
+		{CDN: a, Weight: 1},
+		{CDN: b, Weight: 1, LiveOnly: true},
+	}, false)
+	if out[0].Weight != 1 {
+		t.Fatalf("VoD weights distorted by a live-only CDN's score: %v", out[0].Weight)
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	m := NewMonitor(0.2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Record("A", float64(i%100))
+				m.Score("A")
+				m.Ranked()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Sessions("A") != 8*500 {
+		t.Fatalf("sessions = %d", m.Sessions("A"))
+	}
+}

@@ -1,0 +1,130 @@
+// Package complexity implements the §5 management-complexity measures
+// and their correlation with publisher size: management-plane
+// combinations (CDN × protocol × device), protocol-titles (packaging
+// cost), and unique SDKs (software-maintenance cost), each regressed
+// on log-log axes against daily view-hours to obtain the per-decade
+// growth factors Fig 13 reports (1.72x, 3.8x, 1.8x).
+package complexity
+
+import (
+	"fmt"
+
+	"vmp/internal/ecosystem"
+	"vmp/internal/stats"
+)
+
+// Metric identifies one of the §5 complexity measures.
+type Metric int
+
+// The three measures of Fig 13.
+const (
+	Combinations   Metric = iota // Fig 13a
+	ProtocolTitles               // Fig 13b
+	UniqueSDKs                   // Fig 13c
+)
+
+// String returns the paper's name for the metric.
+func (m Metric) String() string {
+	switch m {
+	case Combinations:
+		return "management-plane combinations"
+	case ProtocolTitles:
+		return "protocol-titles"
+	case UniqueSDKs:
+		return "unique SDKs"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Of evaluates the metric on one publisher's inventory.
+func (m Metric) Of(inv ecosystem.Inventory) float64 {
+	switch m {
+	case Combinations:
+		// The failure-triaging surface: every (CDN, protocol, device)
+		// interaction is a potential failure cause.
+		return float64(len(inv.CDNs) * len(inv.Protocols) * len(inv.DeviceModels))
+	case ProtocolTitles:
+		// Packaging cost: each title is packaged once per protocol.
+		return float64(len(inv.Protocols) * inv.CatalogSize)
+	case UniqueSDKs:
+		// Maintenance cost: one code base per SDK/browser version.
+		return float64(len(inv.SDKVersions))
+	default:
+		return 0
+	}
+}
+
+// Point is one publisher's position on a Fig 13 scatter plot.
+type Point struct {
+	Publisher string
+	DailyVH   float64
+	Value     float64
+}
+
+// Correlation is the Fig 13 result for one metric: the scatter points
+// and the log-log regression against view-hours.
+type Correlation struct {
+	Metric          Metric
+	Points          []Point
+	Fit             stats.Regression
+	PerDecadeFactor float64 // multiplicative growth per 10x view-hours
+	// SpearmanRho is the rank correlation between view-hours and the
+	// metric: a tail-robust check that the relationship is monotone,
+	// not an artifact of the fit.
+	SpearmanRho float64
+}
+
+// Correlate evaluates the metric over every inventory and fits
+// log10(metric) against log10(daily view-hours).
+func Correlate(m Metric, invs []ecosystem.Inventory) (Correlation, error) {
+	c := Correlation{Metric: m}
+	var xs, ys []float64
+	for _, inv := range invs {
+		v := m.Of(inv)
+		c.Points = append(c.Points, Point{Publisher: inv.Publisher, DailyVH: inv.DailyVH, Value: v})
+		xs = append(xs, inv.DailyVH)
+		ys = append(ys, v)
+	}
+	fit, err := stats.LogLogFit(xs, ys)
+	if err != nil {
+		return c, fmt.Errorf("complexity: fitting %v: %w", m, err)
+	}
+	c.Fit = fit
+	c.PerDecadeFactor = stats.PerDecadeFactor(fit.Slope)
+	if rho, err := stats.Spearman(xs, ys); err == nil {
+		c.SpearmanRho = rho
+	}
+	return c, nil
+}
+
+// Report bundles all three Fig 13 correlations.
+type Report struct {
+	Combinations   Correlation
+	ProtocolTitles Correlation
+	UniqueSDKs     Correlation
+	MaxUniqueSDKs  float64 // the "up to 85 code bases" headline number
+}
+
+// Analyze computes the full §5 analysis over a population inventory.
+func Analyze(invs []ecosystem.Inventory) (Report, error) {
+	var (
+		rep Report
+		err error
+	)
+	if rep.Combinations, err = Correlate(Combinations, invs); err != nil {
+		return rep, err
+	}
+	if rep.ProtocolTitles, err = Correlate(ProtocolTitles, invs); err != nil {
+		return rep, err
+	}
+	if rep.UniqueSDKs, err = Correlate(UniqueSDKs, invs); err != nil {
+		return rep, err
+	}
+	for _, p := range rep.UniqueSDKs.Points {
+		if p.Value > rep.MaxUniqueSDKs {
+			rep.MaxUniqueSDKs = p.Value
+		}
+	}
+	return rep, nil
+}

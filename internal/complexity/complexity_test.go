@@ -1,0 +1,130 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+
+	"vmp/internal/device"
+	"vmp/internal/ecosystem"
+	"vmp/internal/manifest"
+)
+
+func inv(pub string, vh float64, nProto, nCDN, nDev, nSDK, catalog int) ecosystem.Inventory {
+	i := ecosystem.Inventory{Publisher: pub, DailyVH: vh, CatalogSize: catalog}
+	for k := 0; k < nProto; k++ {
+		i.Protocols = append(i.Protocols, manifest.HTTPProtocols[k%4])
+	}
+	for k := 0; k < nCDN; k++ {
+		i.CDNs = append(i.CDNs, string(rune('A'+k)))
+	}
+	for k := 0; k < nDev; k++ {
+		i.DeviceModels = append(i.DeviceModels, device.Registry[k%len(device.Registry)].Name)
+	}
+	for k := 0; k < nSDK; k++ {
+		i.SDKVersions = append(i.SDKVersions, device.SDKVersion{Family: "F", Version: string(rune('0' + k))}.String())
+	}
+	return i
+}
+
+func TestMetricValues(t *testing.T) {
+	i := inv("p", 100, 2, 3, 4, 7, 50)
+	if got := Combinations.Of(i); got != 2*3*4 {
+		t.Errorf("Combinations = %v, want 24", got)
+	}
+	if got := ProtocolTitles.Of(i); got != 100 {
+		t.Errorf("ProtocolTitles = %v, want 100", got)
+	}
+	if got := UniqueSDKs.Of(i); got != 7 {
+		t.Errorf("UniqueSDKs = %v, want 7", got)
+	}
+	if Metric(9).Of(i) != 0 {
+		t.Error("unknown metric should evaluate to 0")
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	for _, m := range []Metric{Combinations, ProtocolTitles, UniqueSDKs} {
+		if m.String() == "" || m.String() == "Metric(9)" {
+			t.Errorf("bad name for metric %d", int(m))
+		}
+	}
+}
+
+func TestCorrelateExactPowerLaw(t *testing.T) {
+	// Construct publishers where combinations = VH^0.25 exactly; the
+	// fitted per-decade factor must be 10^0.25.
+	var invs []ecosystem.Inventory
+	for i := 0; i < 6; i++ {
+		vh := math.Pow(10, float64(i))
+		n := int(math.Round(math.Pow(vh, 0.25)))
+		invs = append(invs, inv("p", vh, 1, 1, n, 1, 1))
+	}
+	c, err := Correlate(Combinations, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(10, 0.25)
+	if math.Abs(c.PerDecadeFactor-want) > 0.05 {
+		t.Fatalf("PerDecadeFactor = %v, want ~%v", c.PerDecadeFactor, want)
+	}
+	if len(c.Points) != 6 {
+		t.Fatalf("points = %d", len(c.Points))
+	}
+}
+
+func TestCorrelateInsufficientData(t *testing.T) {
+	if _, err := Correlate(Combinations, nil); err == nil {
+		t.Fatal("empty inventory should error")
+	}
+}
+
+// TestFig13Anchors runs the real population through the §5 analysis
+// and checks the per-decade factors against the paper's: combinations
+// 1.72x, protocol-titles 3.8x, unique SDKs 1.8x (tolerant bands — the
+// shape criterion is sub-linear growth of the right magnitude), with
+// all fits statistically significant.
+func TestFig13Anchors(t *testing.T) {
+	e := ecosystem.New(ecosystem.Config{SnapshotStride: 30})
+	rep, err := Analyze(e.InventoryAt(e.Schedule.Latest().Start))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name   string
+		c      Correlation
+		lo, hi float64
+	}{
+		{"combinations", rep.Combinations, 1.3, 2.6},
+		{"protocol-titles", rep.ProtocolTitles, 2.6, 5.2},
+		{"unique SDKs", rep.UniqueSDKs, 1.4, 2.4},
+	}
+	for _, c := range checks {
+		if c.c.PerDecadeFactor < c.lo || c.c.PerDecadeFactor > c.hi {
+			t.Errorf("%s per-decade factor = %.2f, want in [%v, %v]",
+				c.name, c.c.PerDecadeFactor, c.lo, c.hi)
+		}
+		// Sub-linear: factor well below 10 per decade.
+		if c.c.PerDecadeFactor >= 10 {
+			t.Errorf("%s grows super-linearly", c.name)
+		}
+		if c.c.Fit.PValue > 1e-9 {
+			t.Errorf("%s fit p-value = %v, want < 1e-9 (paper: < 1e-9)", c.name, c.c.Fit.PValue)
+		}
+	}
+	// §5 headline: the biggest publishers maintain up to ~85 code
+	// bases.
+	if rep.MaxUniqueSDKs < 40 || rep.MaxUniqueSDKs > 130 {
+		t.Errorf("max unique SDKs = %v, want near 85", rep.MaxUniqueSDKs)
+	}
+	// Rank-correlation robustness: all three metrics are strongly
+	// monotone in publisher size.
+	for name, rho := range map[string]float64{
+		"combinations":    rep.Combinations.SpearmanRho,
+		"protocol-titles": rep.ProtocolTitles.SpearmanRho,
+		"unique SDKs":     rep.UniqueSDKs.SpearmanRho,
+	} {
+		if rho < 0.5 {
+			t.Errorf("%s Spearman rho = %.2f, want strongly positive", name, rho)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+// Package core is the study orchestrator: it wires the synthetic
+// ecosystem, the telemetry store, and the analysis packages into the
+// paper's experiment suite, one method per table or figure. The root
+// vmp package re-exports this API; cmd/vmpstudy and the benchmark
+// harness drive it.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"vmp/internal/analytics"
+	"vmp/internal/complexity"
+	"vmp/internal/device"
+	"vmp/internal/ecosystem"
+	"vmp/internal/manifest"
+	"vmp/internal/simclock"
+	"vmp/internal/stats"
+	"vmp/internal/syndication"
+	"vmp/internal/telemetry"
+)
+
+// StudyConfig parameterizes a reproduction run.
+type StudyConfig struct {
+	// Seed drives all randomness; zero means ecosystem.DefaultSeed.
+	Seed uint64
+	// SnapshotStride thins the bi-weekly schedule (1 = full study).
+	// Zero means 1.
+	SnapshotStride int
+	// QoESessions is the per-publisher session count for the Fig 15/16
+	// playback experiments; zero means 150.
+	QoESessions int
+}
+
+// Study holds a generated dataset and memoizes the analyses.
+type Study struct {
+	cfg StudyConfig
+	Eco *ecosystem.Ecosystem
+
+	once  sync.Once
+	store *telemetry.Store
+}
+
+// NewStudy builds the ecosystem for cfg. Dataset generation is lazy:
+// figures that need records trigger it on first use.
+func NewStudy(cfg StudyConfig) *Study {
+	return &Study{
+		cfg: cfg,
+		Eco: ecosystem.New(ecosystem.Config{Seed: cfg.Seed, SnapshotStride: cfg.SnapshotStride}),
+	}
+}
+
+// Store returns the generated view-record store, generating it on
+// first call.
+func (s *Study) Store() *telemetry.Store {
+	s.once.Do(func() { s.store = s.Eco.GenerateStore() })
+	return s.store
+}
+
+// Schedule returns the study's snapshot schedule.
+func (s *Study) Schedule() simclock.Schedule { return s.Eco.Schedule }
+
+// latest returns the records of the latest snapshot.
+func (s *Study) latest() []telemetry.ViewRecord {
+	return s.Store().Window(s.Schedule().Latest())
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Protocol  string
+	Extension string
+	SampleURL string
+	Inferred  string
+}
+
+// Table1 regenerates the protocol-inference table against freshly
+// minted URLs.
+func (s *Study) Table1() []Table1Row {
+	var rows []Table1Row
+	for _, p := range []manifest.Protocol{manifest.HLS, manifest.DASH, manifest.Smooth, manifest.HDS} {
+		url := manifest.ManifestURL(p, "http://cdn-A.example.net/pub000", "v0001")
+		rows = append(rows, Table1Row{
+			Protocol:  p.String(),
+			Extension: p.ManifestExtension(),
+			SampleURL: url,
+			Inferred:  manifest.InferProtocol(url).String(),
+		})
+	}
+	return rows
+}
+
+// Fig2a: percentage of publishers supporting each streaming protocol
+// over time.
+func (s *Study) Fig2a() *analytics.TimeSeries {
+	return analytics.ShareOfPublishers(s.Store(), s.Schedule(), analytics.ProtocolDim)
+}
+
+// Fig2b: percentage of view-hours by protocol over time.
+func (s *Study) Fig2b() *analytics.TimeSeries {
+	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.ProtocolDim, nil)
+}
+
+// Fig2c: Fig2b excluding the N large DASH-driving publishers.
+func (s *Study) Fig2c() *analytics.TimeSeries {
+	exclude := map[string]bool{}
+	for _, p := range s.Eco.Publishers {
+		if p.DASHDriver {
+			exclude[p.ID] = true
+		}
+	}
+	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.ProtocolDim, exclude)
+}
+
+// Fig3a: number of protocols per publisher, latest snapshot.
+func (s *Study) Fig3a() *analytics.Histogram {
+	return analytics.InstancesPerPublisher(s.latest(), analytics.ProtocolDim)
+}
+
+// Fig3b: protocols per publisher bucketed by view-hours.
+func (s *Study) Fig3b() *analytics.BucketBreakdown {
+	snap := s.Schedule().Latest()
+	return analytics.InstancesByBucket(s.Store().Window(snap), analytics.ProtocolDim, snap.Days, ecosystem.NumBuckets)
+}
+
+// Fig3c: average protocols per publisher over time, plain and
+// view-hour weighted.
+func (s *Study) Fig3c() *analytics.AveragesSeries {
+	return analytics.AverageInstances(s.Store(), s.Schedule(), analytics.ProtocolDim)
+}
+
+// Fig4: CDF across publishers of the share of their view-hours served
+// via DASH and via HLS.
+func (s *Study) Fig4() map[string]analytics.CDF {
+	recs := s.latest()
+	return map[string]analytics.CDF{
+		"DASH": analytics.SupporterShareCDF(recs, analytics.ProtocolDim, "DASH"),
+		"HLS":  analytics.SupporterShareCDF(recs, analytics.ProtocolDim, "HLS"),
+	}
+}
+
+// Fig5Row describes one platform category and its device models.
+type Fig5Row struct {
+	Platform string
+	AppBased bool
+	Models   []string
+}
+
+// Fig5 renders the platform taxonomy.
+func (s *Study) Fig5() []Fig5Row {
+	var rows []Fig5Row
+	for _, pl := range device.Platforms {
+		row := Fig5Row{Platform: pl.String(), AppBased: pl.AppBased()}
+		for _, m := range device.OfPlatform(pl) {
+			row.Models = append(row.Models, m.Name)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig6a: percentage of view-hours per platform over time.
+func (s *Study) Fig6a() *analytics.TimeSeries {
+	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.PlatformDim, nil)
+}
+
+// Fig6b: Fig6a excluding the three largest publishers.
+func (s *Study) Fig6b() *analytics.TimeSeries {
+	exclude := analytics.TopPublishersByViewHours(s.latest(), 3)
+	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.PlatformDim, exclude)
+}
+
+// Fig6c: percentage of views per platform over time.
+func (s *Study) Fig6c() *analytics.TimeSeries {
+	return analytics.ShareOfViews(s.Store(), s.Schedule(), analytics.PlatformDim, nil)
+}
+
+// Fig7: percentage of publishers supporting each platform over time.
+func (s *Study) Fig7() *analytics.TimeSeries {
+	return analytics.ShareOfPublishers(s.Store(), s.Schedule(), analytics.PlatformDim)
+}
+
+// Fig8: CDF of individual view duration per platform, latest snapshot.
+func (s *Study) Fig8() map[string]analytics.CDF {
+	return analytics.DurationCDFs(s.latest())
+}
+
+// Fig9a/b/c: platforms per publisher (histogram, bucketed, averages).
+func (s *Study) Fig9a() *analytics.Histogram {
+	return analytics.InstancesPerPublisher(s.latest(), analytics.PlatformDim)
+}
+
+// Fig9b: platforms per publisher bucketed by view-hours.
+func (s *Study) Fig9b() *analytics.BucketBreakdown {
+	snap := s.Schedule().Latest()
+	return analytics.InstancesByBucket(s.Store().Window(snap), analytics.PlatformDim, snap.Days, ecosystem.NumBuckets)
+}
+
+// Fig9c: average platforms per publisher over time.
+func (s *Study) Fig9c() *analytics.AveragesSeries {
+	return analytics.AverageInstances(s.Store(), s.Schedule(), analytics.PlatformDim)
+}
+
+// Fig10a/b/c: view-hour shares of devices within browsers, mobile, and
+// set-top boxes.
+func (s *Study) Fig10(pl device.Platform) *analytics.TimeSeries {
+	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.DeviceDim(pl), nil)
+}
+
+// Fig11a: percentage of publishers using each top-5 CDN over time.
+func (s *Study) Fig11a() *analytics.TimeSeries {
+	return analytics.ShareOfPublishers(s.Store(), s.Schedule(), analytics.CDNDim)
+}
+
+// Fig11b: percentage of view-hours per CDN over time.
+func (s *Study) Fig11b() *analytics.TimeSeries {
+	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.CDNDim, nil)
+}
+
+// Fig12a/b/c: CDNs per publisher.
+func (s *Study) Fig12a() *analytics.Histogram {
+	return analytics.InstancesPerPublisher(s.latest(), analytics.CDNDim)
+}
+
+// Fig12b: CDNs per publisher bucketed by view-hours.
+func (s *Study) Fig12b() *analytics.BucketBreakdown {
+	snap := s.Schedule().Latest()
+	return analytics.InstancesByBucket(s.Store().Window(snap), analytics.CDNDim, snap.Days, ecosystem.NumBuckets)
+}
+
+// Fig12c: average CDNs per publisher over time.
+func (s *Study) Fig12c() *analytics.AveragesSeries {
+	return analytics.AverageInstances(s.Store(), s.Schedule(), analytics.CDNDim)
+}
+
+// CDNSegregation reproduces §4.3's live/VoD segregation numbers.
+func (s *Study) CDNSegregation() analytics.SegregationStats {
+	return analytics.Segregation(s.latest())
+}
+
+// Fig13 runs the §5 complexity analysis over the latest inventory.
+func (s *Study) Fig13() (complexity.Report, error) {
+	return complexity.Analyze(s.Eco.InventoryAt(s.Schedule().Latest().Start))
+}
+
+// Fig14 computes the syndication-prevalence CDF.
+func (s *Study) Fig14() ([]syndication.PrevalencePoint, *stats.ECDF) {
+	return syndication.Prevalence(s.Eco.Publishers)
+}
+
+// QoEComparison is the Fig 15/16 outcome for one ISP×CDN slice.
+type QoEComparison struct {
+	ISP        string
+	CDN        string
+	Owner      syndication.QoEDist
+	Syndicator syndication.QoEDist
+}
+
+// Fig15and16 runs the playback-based owner-versus-syndicator
+// comparison on the paper's two slices.
+func (s *Study) Fig15and16() ([]QoEComparison, error) {
+	sessions := s.cfg.QoESessions
+	if sessions <= 0 {
+		sessions = 150
+	}
+	seed := s.cfg.Seed
+	if seed == 0 {
+		seed = ecosystem.DefaultSeed
+	}
+	slices, err := syndication.DefaultSlices(s.Eco.CDNs, sessions, seed)
+	if err != nil {
+		return nil, err
+	}
+	cat := syndication.StarCatalogue()
+	s7, ok := cat.SyndicatorByID("S7")
+	if !ok {
+		return nil, fmt.Errorf("core: star catalogue lost S7")
+	}
+	var out []QoEComparison
+	for _, sl := range slices {
+		owner, synd, err := syndication.CompareQoE(cat.Owner, s7, cat.TitleID, sl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QoEComparison{
+			ISP: sl.ISP.Name, CDN: sl.CDN.Name, Owner: owner, Syndicator: synd,
+		})
+	}
+	return out, nil
+}
+
+// Fig17 returns the star catalogue's ladder table.
+func (s *Study) Fig17() ([]syndication.LadderRow, error) {
+	cat := syndication.StarCatalogue()
+	if err := cat.CheckFig17Invariants(); err != nil {
+		return nil, err
+	}
+	return cat.LadderTable(), nil
+}
+
+// Fig18 runs the origin-storage redundancy experiment.
+func (s *Study) Fig18() (*syndication.StorageExperiment, error) {
+	return syndication.RunStorageExperiment(syndication.DefaultStorageConfig())
+}
+
+// Macro computes the §3 macroscopic-context statistics over the latest
+// snapshot.
+func (s *Study) Macro() analytics.MacroStats {
+	snap := s.Schedule().Latest()
+	return analytics.Macro(s.Store().Window(snap), snap.Days)
+}
+
+// ProtocolPlatformCross computes the protocol × platform view-hour
+// cross-tabulation over the latest snapshot: the §3 "any slice of the
+// data" capability, and a direct view of the §2 coupling between
+// packaging choices and device reach (Apple rows are 100% HLS).
+func (s *Study) ProtocolPlatformCross() *analytics.CrossTab {
+	return analytics.Cross(s.latest(), analytics.PlatformDim, analytics.ProtocolDim)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func TestRenderCSVAllFigures(t *testing.T) {
+	s := study(t)
+	for _, id := range FigureIDs {
+		var buf bytes.Buffer
+		if err := s.RenderCSV(&buf, id); err != nil {
+			t.Fatalf("RenderCSV(%s): %v", id, err)
+		}
+		rows, err := csv.NewReader(&buf).ReadAll()
+		if err != nil {
+			t.Fatalf("figure %s produced invalid CSV: %v", id, err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("figure %s CSV has %d rows, want header + data", id, len(rows))
+		}
+		width := len(rows[0])
+		for i, row := range rows {
+			if len(row) != width {
+				t.Fatalf("figure %s row %d has %d columns, want %d", id, i, len(row), width)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.RenderCSV(&buf, "bogus"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRenderCSVFig2bValues(t *testing.T) {
+	s := study(t)
+	var buf bytes.Buffer
+	if err := s.RenderCSV(&buf, "2b"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-snapshot protocol shares must sum to ~100 in each column.
+	nCols := len(rows[0]) - 1
+	for col := 1; col <= nCols; col++ {
+		sum := 0.0
+		for _, row := range rows[1:] {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("bad value %q: %v", row[col], err)
+			}
+			sum += v
+		}
+		if sum < 99.5 || sum > 100.5 {
+			t.Fatalf("column %d shares sum to %v, want ~100", col, sum)
+		}
+	}
+}
+
+func TestRenderCSVFig13Scatter(t *testing.T) {
+	s := study(t)
+	var buf bytes.Buffer
+	if err := s.RenderCSV(&buf, "13b"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One point per publisher plus the header.
+	if len(rows) != len(s.Eco.Publishers)+1 {
+		t.Fatalf("scatter rows = %d, want %d", len(rows), len(s.Eco.Publishers)+1)
+	}
+}
+
+func TestRenderCSVDeterministic(t *testing.T) {
+	s := study(t)
+	var a, b bytes.Buffer
+	if err := s.RenderCSV(&a, "3b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RenderCSV(&b, "3b"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("CSV output not deterministic across calls")
+	}
+}

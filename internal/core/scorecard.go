@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"vmp/internal/device"
+	"vmp/internal/ecosystem"
+)
+
+// ScoreRow is one paper-versus-measured comparison with its acceptance
+// band. Bands encode the *shape* criterion, not exact-value matching:
+// the synthetic substrate cannot (and should not) match proprietary
+// absolute numbers.
+type ScoreRow struct {
+	Experiment string
+	Quantity   string
+	Paper      float64
+	Measured   float64
+	Lo, Hi     float64
+}
+
+// Pass reports whether the measured value lies in the band.
+func (r ScoreRow) Pass() bool { return r.Measured >= r.Lo && r.Measured <= r.Hi }
+
+// Scorecard evaluates every headline quantity of the reproduction
+// against its acceptance band, in figure order. It is the programmatic
+// form of EXPERIMENTS.md and the regression gate for refactoring the
+// generator.
+func (s *Study) Scorecard() ([]ScoreRow, error) {
+	var rows []ScoreRow
+	add := func(exp, q string, paper, measured, lo, hi float64) {
+		rows = append(rows, ScoreRow{Experiment: exp, Quantity: q,
+			Paper: paper, Measured: measured, Lo: lo, Hi: hi})
+	}
+
+	macro := s.Macro()
+	add("§3", "publishers observed", 100, float64(macro.Publishers), 100, 130)
+	add("§3", "distinct geographies", 180, float64(macro.DistinctGeos), 150, 180)
+
+	fig2a := s.Fig2a()
+	add("Fig 2a", "HLS support latest (%pubs)", 91, fig2a.Latest("HLS"), 85, 98)
+	add("Fig 2a", "DASH support latest (%pubs)", 43, fig2a.Latest("DASH"), 33, 52)
+	add("Fig 2a", "HDS support latest (%pubs)", 19, fig2a.Latest("HDS"), 8, 28)
+	fig2b := s.Fig2b()
+	add("Fig 2b", "DASH view-hours latest (%)", 38, fig2b.Latest("DASH"), 33, 50)
+	add("Fig 2b", "DASH view-hours first (%)", 3, fig2b.First("DASH"), 0.5, 10)
+	add("Fig 2b", "RTMP view-hours first (%)", 1.6, fig2b.First("RTMP"), 0.2, 4)
+	add("Fig 2b", "RTMP view-hours latest (%)", 0.1, fig2b.Latest("RTMP"), 0, 0.5)
+	add("Fig 2c", "DASH VH excl. drivers latest (%)", 5, s.Fig2c().Latest("DASH"), 0, 10)
+
+	fig3a := s.Fig3a()
+	_, oneProtoVH := fig3a.At(1)
+	add("Fig 3a", "1-protocol publishers' VH (%)", 10, oneProtoVH, 0, 15)
+	fig3c := s.Fig3c()
+	add("Fig 3c", "weighted avg protocols latest", 2.2, fig3c.Weighted[len(fig3c.Weighted)-1], 2.0, 2.8)
+
+	fig6a := s.Fig6a()
+	add("Fig 6a", "browser VH latest (%)", 25, fig6a.Latest("Browser"), 15, 30)
+	add("Fig 6a", "set-top VH latest (%)", 40, fig6a.Latest("SetTop"), 33, 50)
+	add("Fig 6a", "mobile VH latest (%)", 22, fig6a.Latest("Mobile"), 14, 30)
+	add("Fig 6a", "smart-TV VH latest (%)", 5, fig6a.Latest("SmartTV"), 1, 7)
+	fig6b := s.Fig6b()
+	add("Fig 6b", "mobile minus set-top, excl. giants (%)", 10,
+		fig6b.Latest("Mobile")-fig6b.Latest("SetTop"), 2, 40)
+	add("Fig 6c", "set-top views latest (%)", 20, s.Fig6c().Latest("SetTop"), 12, 30)
+
+	fig7 := s.Fig7()
+	add("Fig 7", "set-top support latest (%pubs)", 55, fig7.Latest("SetTop"), 45, 75)
+	add("Fig 7", "smart-TV support latest (%pubs)", 62, fig7.Latest("SmartTV"), 50, 85)
+
+	fig9a := s.Fig9a()
+	_, all5VH := fig9a.At(5)
+	add("Fig 9a", "all-5-platform publishers' VH (%)", 60, all5VH, 60, 99)
+	fig9c := s.Fig9c()
+	add("Fig 9c", "weighted avg platforms latest", 4.5, fig9c.Weighted[len(fig9c.Weighted)-1], 4.0, 5.0)
+
+	fig10a := s.Fig10(device.Browser)
+	add("Fig 10a", "HTML5 browser VH latest (%)", 60, fig10a.Latest("HTML5"), 50, 72)
+	add("Fig 10a", "Flash browser VH latest (%)", 40, fig10a.Latest("Flash"), 25, 50)
+	fig10c := s.Fig10(device.SetTop)
+	add("Fig 10c", "Roku set-top VH latest (%)", 54, fig10c.Latest("Roku"), 40, 65)
+
+	fig11a := s.Fig11a()
+	add("Fig 11a", "CDN A usage latest (%pubs)", 80, fig11a.Latest("A"), 70, 95)
+	fig11b := s.Fig11b()
+	add("Fig 11b", "CDN A VH latest (%)", 28, fig11b.Latest("A"), 18, 40)
+	add("Fig 11b", "CDN B VH latest (%)", 30, fig11b.Latest("B"), 18, 40)
+	add("Fig 11b", "CDN C VH latest (%)", 30, fig11b.Latest("C"), 18, 40)
+
+	fig12a := s.Fig12a()
+	onePub, oneVH := fig12a.At(1)
+	add("Fig 12a", "single-CDN publishers (%pubs)", 40, onePub, 40, 55)
+	add("Fig 12a", "single-CDN publishers' VH (%)", 5, oneVH, 0, 5)
+	fivePub, fiveVH := fig12a.At(5)
+	add("Fig 12a", "5-CDN publishers (%pubs)", 10, fivePub, 2, 10)
+	add("Fig 12a", "5-CDN publishers' VH (%)", 50, fiveVH, 50, 80)
+	fourPub, fourVH := fig12a.At(4)
+	_ = fourPub
+	add("Fig 12a", "4-5 CDN publishers' VH (%)", 80, fourVH+fiveVH, 70, 95)
+	fig12c := s.Fig12c()
+	add("Fig 12c", "weighted avg CDNs latest", 4.5, fig12c.Weighted[len(fig12c.Weighted)-1], 3.8, 5.0)
+
+	fig13, err := s.Fig13()
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 13a", "combinations factor per decade", 1.72, fig13.Combinations.PerDecadeFactor, 1.3, 2.6)
+	add("Fig 13b", "protocol-titles factor per decade", 3.8, fig13.ProtocolTitles.PerDecadeFactor, 2.6, 5.2)
+	add("Fig 13c", "unique-SDKs factor per decade", 1.8, fig13.UniqueSDKs.PerDecadeFactor, 1.3, 2.4)
+	add("Fig 13c", "max code bases", 85, fig13.MaxUniqueSDKs, 40, 130)
+
+	_, fig14 := s.Fig14()
+	add("Fig 14", "owners using ≥1 syndicator (%)", 80, 100*(1-fig14.At(0)), 75, 100)
+
+	comps, err := s.Fig15and16()
+	if err != nil {
+		return nil, err
+	}
+	add("Fig 15", "owner/synd median bitrate (slice 1)", 2.5,
+		comps[0].Owner.MedianKbps/comps[0].Syndicator.MedianKbps, 2.0, 3.6)
+	if comps[1].Syndicator.P90RebufPct > 0 {
+		add("Fig 16", "owner/synd p90 rebuffering (slice 2)", 0.6,
+			comps[1].Owner.P90RebufPct/comps[1].Syndicator.P90RebufPct, 0, 0.7)
+	}
+
+	fig18, err := s.Fig18()
+	if err != nil {
+		return nil, err
+	}
+	rep := fig18.Reports[0].Report
+	add("Fig 18", "catalogue size (TB)", 1916, float64(rep.TotalBytes)/1e12, 1800, 2050)
+	add("Fig 18", "5% tolerance savings (%)", 16.5, rep.Tol5Pct, 12, 21)
+	add("Fig 18", "10% tolerance savings (%)", 45.2, rep.Tol10Pct, 38, 55)
+	add("Fig 18", "integrated savings (%)", 65.6, rep.IntegratedPct, 58, 72)
+
+	return rows, nil
+}
+
+// RenderScorecard writes the scorecard as a markdown table and returns
+// the number of failing rows.
+func (s *Study) RenderScorecard(w io.Writer) (failures int, err error) {
+	rows, err := s.Scorecard()
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintln(w, "| experiment | quantity | paper | measured | band | |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|")
+	for _, r := range rows {
+		mark := "✓"
+		if !r.Pass() {
+			mark = "✗"
+			failures++
+		}
+		fmt.Fprintf(w, "| %s | %s | %.4g | %.4g | [%.4g, %.4g] | %s |\n",
+			r.Experiment, r.Quantity, r.Paper, r.Measured, r.Lo, r.Hi, mark)
+	}
+	fmt.Fprintf(w, "\n%d/%d checks pass\n", len(rows)-failures, len(rows))
+	return failures, nil
+}
+
+// ensure ecosystem import is used even if future edits drop other uses.
+var _ = ecosystem.DefaultSeed

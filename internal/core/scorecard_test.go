@@ -1,0 +1,42 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScorecardAllPass(t *testing.T) {
+	s := study(t)
+	rows, err := s.Scorecard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 30 {
+		t.Fatalf("scorecard has %d rows, want a comprehensive set", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Pass() {
+			t.Errorf("%s / %s: measured %.4g outside [%.4g, %.4g] (paper %.4g)",
+				r.Experiment, r.Quantity, r.Measured, r.Lo, r.Hi, r.Paper)
+		}
+	}
+}
+
+func TestRenderScorecard(t *testing.T) {
+	s := study(t)
+	var buf bytes.Buffer
+	failures, err := s.RenderScorecard(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("%d scorecard failures:\n%s", failures, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"| experiment |", "Fig 18", "checks pass"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scorecard output missing %q", want)
+		}
+	}
+}

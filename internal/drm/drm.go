@@ -1,0 +1,224 @@
+// Package drm models the Digital Rights Management step of packaging
+// (§2: "Publishers optionally use DRM software to encrypt the video so
+// that only authenticated users can access it"). The paper's dataset
+// could not observe DRM usage (§3, dataset limitations); this package
+// supplies the substitute substrate: the three commercial DRM systems,
+// their device compatibility (which multiplies the §5 management
+// matrix), a license server with key rotation, and the license-exchange
+// latency a protected session pays at startup.
+package drm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vmp/internal/device"
+	"vmp/internal/dist"
+)
+
+// System is a commercial DRM system.
+type System int
+
+// The three systems that between them cover the device zoo: a
+// publisher protecting content on all platforms must package and
+// manage licenses for all three (multi-DRM).
+const (
+	Widevine System = iota
+	PlayReady
+	FairPlay
+)
+
+// Systems lists all DRM systems.
+var Systems = []System{Widevine, PlayReady, FairPlay}
+
+// String names the system.
+func (s System) String() string {
+	switch s {
+	case Widevine:
+		return "Widevine"
+	case PlayReady:
+		return "PlayReady"
+	case FairPlay:
+		return "FairPlay"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// SupportsDevice reports whether the system's CDM ships on the device:
+// FairPlay is Apple-only; PlayReady covers the Microsoft lineage
+// (Xbox, Silverlight) and most smart TVs; Widevine covers Android,
+// Chrome-lineage browsers, and the open set-top ecosystem.
+func (s System) SupportsDevice(m device.Model) bool {
+	switch s {
+	case FairPlay:
+		return m.Apple
+	case PlayReady:
+		switch m.Name {
+		case "Xbox", "Silverlight", "SamsungTV", "LGTV", "Roku":
+			return true
+		}
+		return false
+	case Widevine:
+		if m.Apple {
+			return false
+		}
+		switch m.Name {
+		case "Xbox", "Silverlight", "Flash":
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// SystemsFor returns the DRM systems usable on a device.
+func SystemsFor(m device.Model) []System {
+	var out []System
+	for _, s := range Systems {
+		if s.SupportsDevice(m) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RequiredSystems returns the minimal multi-DRM set covering every
+// given device (greedy by coverage; exact for this three-system
+// matrix). Devices no system covers are reported in uncovered.
+func RequiredSystems(models []device.Model) (systems []System, uncovered []string) {
+	need := map[string]device.Model{}
+	for _, m := range models {
+		need[m.Name] = m
+	}
+	for len(need) > 0 {
+		best, bestCover := System(-1), 0
+		for _, s := range Systems {
+			if containsSystem(systems, s) {
+				continue
+			}
+			cover := 0
+			for _, m := range need {
+				if s.SupportsDevice(m) {
+					cover++
+				}
+			}
+			if cover > bestCover {
+				best, bestCover = s, cover
+			}
+		}
+		if bestCover == 0 {
+			for name := range need {
+				uncovered = append(uncovered, name)
+			}
+			break
+		}
+		systems = append(systems, best)
+		for name, m := range need {
+			if best.SupportsDevice(m) {
+				delete(need, name)
+			}
+		}
+	}
+	return systems, uncovered
+}
+
+func containsSystem(xs []System, s System) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// License grants playback of one piece of content on one device class.
+type License struct {
+	System    System
+	ContentID string
+	KeyEpoch  int64 // which rotation epoch the key belongs to
+	ExpiresAt time.Time
+}
+
+// Valid reports whether the license covers playback at time t.
+func (l License) Valid(t time.Time) bool { return t.Before(l.ExpiresAt) }
+
+// KeyServer issues licenses and rotates content keys. Live content
+// rotates keys periodically, forcing mid-session license renewals; VoD
+// keys are stable. KeyServer is safe for concurrent use.
+type KeyServer struct {
+	rotation time.Duration
+	ttl      time.Duration
+
+	mu      sync.Mutex
+	src     *dist.Source
+	issued  int64
+	refused int64
+}
+
+// NewKeyServer returns a key server rotating live keys every rotation
+// (0 disables rotation) and issuing licenses valid for ttl (0 means
+// 24h).
+func NewKeyServer(src *dist.Source, rotation, ttl time.Duration) (*KeyServer, error) {
+	if src == nil {
+		return nil, fmt.Errorf("drm: nil randomness source")
+	}
+	if ttl <= 0 {
+		ttl = 24 * time.Hour
+	}
+	return &KeyServer{rotation: rotation, ttl: ttl, src: src}, nil
+}
+
+// Request is a license request from a player.
+type Request struct {
+	ContentID string
+	Device    device.Model
+	System    System
+	Live      bool
+	Now       time.Time // simulated time of the request
+}
+
+// Issue grants a license, or an error when the device cannot run the
+// requested system's CDM. The returned latency is the license-exchange
+// round trip the session pays before its first frame.
+func (ks *KeyServer) Issue(req Request) (License, time.Duration, error) {
+	if req.ContentID == "" {
+		return License{}, 0, fmt.Errorf("drm: empty content ID")
+	}
+	if !req.System.SupportsDevice(req.Device) {
+		ks.mu.Lock()
+		ks.refused++
+		ks.mu.Unlock()
+		return License{}, 0, fmt.Errorf("drm: %v has no %v CDM", req.Device.Name, req.System)
+	}
+	epoch := int64(0)
+	ttl := ks.ttl
+	if req.Live && ks.rotation > 0 {
+		epoch = req.Now.UnixNano() / int64(ks.rotation)
+		// A live license dies with its key epoch.
+		epochEnd := time.Unix(0, (epoch+1)*int64(ks.rotation))
+		if epochEnd.Before(req.Now.Add(ttl)) {
+			ttl = epochEnd.Sub(req.Now)
+		}
+	}
+	ks.mu.Lock()
+	ks.issued++
+	// License exchange: server processing plus provisioning jitter.
+	latency := time.Duration((30 + ks.src.Float64()*50) * float64(time.Millisecond))
+	ks.mu.Unlock()
+	return License{
+		System:    req.System,
+		ContentID: req.ContentID,
+		KeyEpoch:  epoch,
+		ExpiresAt: req.Now.Add(ttl),
+	}, latency, nil
+}
+
+// Stats returns the issue/refuse counters.
+func (ks *KeyServer) Stats() (issued, refused int64) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.issued, ks.refused
+}

@@ -1,0 +1,209 @@
+package drm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"vmp/internal/device"
+	"vmp/internal/dist"
+)
+
+func model(t *testing.T, name string) device.Model {
+	t.Helper()
+	m, ok := device.ByName(name)
+	if !ok {
+		t.Fatalf("device %q missing", name)
+	}
+	return m
+}
+
+func TestSystemNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Systems {
+		if names[s.String()] {
+			t.Fatalf("duplicate system name %q", s)
+		}
+		names[s.String()] = true
+	}
+	if System(9).String() != "System(9)" {
+		t.Error("unknown system should format numerically")
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		device string
+		system System
+		want   bool
+	}{
+		{"iPhone", FairPlay, true},
+		{"iPhone", Widevine, false},
+		{"iPhone", PlayReady, false},
+		{"AppleTV", FairPlay, true},
+		{"AndroidPhone", Widevine, true},
+		{"AndroidPhone", FairPlay, false},
+		{"Xbox", PlayReady, true},
+		{"Xbox", Widevine, false},
+		{"Silverlight", PlayReady, true},
+		{"Roku", Widevine, true},
+		{"Roku", PlayReady, true},
+		{"HTML5", Widevine, true},
+		{"Flash", Widevine, false},
+	}
+	for _, c := range cases {
+		if got := c.system.SupportsDevice(model(t, c.device)); got != c.want {
+			t.Errorf("%v on %s = %v, want %v", c.system, c.device, got, c.want)
+		}
+	}
+}
+
+func TestEveryAppDeviceHasSomeDRM(t *testing.T) {
+	// Every modern app platform must be protectable; only legacy
+	// browser plugins may fall outside.
+	for _, m := range device.Registry {
+		if m.Name == "Flash" {
+			continue // Flash-era content used RTMPE, out of scope
+		}
+		if len(SystemsFor(m)) == 0 {
+			t.Errorf("%s has no usable DRM system", m.Name)
+		}
+	}
+}
+
+func TestRequiredSystemsFullZoo(t *testing.T) {
+	var all []device.Model
+	for _, m := range device.Registry {
+		if m.Name == "Flash" {
+			continue
+		}
+		all = append(all, m)
+	}
+	systems, uncovered := RequiredSystems(all)
+	if len(uncovered) != 0 {
+		t.Fatalf("uncovered devices: %v", uncovered)
+	}
+	// Covering Apple + Microsoft-lineage + the rest takes all three
+	// systems at least two of which are mandatory (FairPlay for Apple,
+	// Widevine or PlayReady elsewhere).
+	if len(systems) < 2 || len(systems) > 3 {
+		t.Fatalf("multi-DRM set = %v, want 2-3 systems", systems)
+	}
+	hasFairPlay := false
+	for _, s := range systems {
+		if s == FairPlay {
+			hasFairPlay = true
+		}
+	}
+	if !hasFairPlay {
+		t.Fatal("covering Apple devices requires FairPlay")
+	}
+}
+
+func TestRequiredSystemsUncovered(t *testing.T) {
+	systems, uncovered := RequiredSystems([]device.Model{model(t, "Flash")})
+	if len(systems) != 0 || len(uncovered) != 1 || uncovered[0] != "Flash" {
+		t.Fatalf("systems=%v uncovered=%v", systems, uncovered)
+	}
+}
+
+func TestIssueAndValidity(t *testing.T) {
+	ks, err := NewKeyServer(dist.NewSource(1), time.Minute, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2018, 3, 1, 12, 0, 0, 0, time.UTC)
+	lic, latency, err := ks.Issue(Request{
+		ContentID: "c1", Device: model(t, "AndroidPhone"), System: Widevine, Now: now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latency < 30*time.Millisecond || latency > 80*time.Millisecond {
+		t.Fatalf("license latency = %v, want 30-80ms", latency)
+	}
+	if !lic.Valid(now) || !lic.Valid(now.Add(59*time.Minute)) {
+		t.Fatal("license should be valid within its TTL")
+	}
+	if lic.Valid(now.Add(2 * time.Hour)) {
+		t.Fatal("license should expire after its TTL")
+	}
+}
+
+func TestIssueRefusesIncompatibleCDM(t *testing.T) {
+	ks, _ := NewKeyServer(dist.NewSource(1), 0, 0)
+	_, _, err := ks.Issue(Request{
+		ContentID: "c1", Device: model(t, "iPhone"), System: Widevine, Now: time.Now().UTC(),
+	})
+	if err == nil {
+		t.Fatal("Widevine on iPhone accepted")
+	}
+	if _, _, err := ks.Issue(Request{Device: model(t, "iPhone"), System: FairPlay}); err == nil {
+		t.Fatal("empty content ID accepted")
+	}
+	issued, refused := ks.Stats()
+	if issued != 0 || refused != 1 {
+		t.Fatalf("stats = %d/%d, want 0 issued, 1 refused", issued, refused)
+	}
+}
+
+func TestLiveKeyRotation(t *testing.T) {
+	rotation := 10 * time.Minute
+	ks, _ := NewKeyServer(dist.NewSource(2), rotation, time.Hour)
+	now := time.Date(2018, 3, 1, 12, 1, 0, 0, time.UTC)
+	req := Request{ContentID: "live1", Device: model(t, "Roku"), System: Widevine, Live: true, Now: now}
+	lic1, _, err := ks.Issue(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live license must not outlive its key epoch.
+	if lic1.Valid(now.Add(rotation)) {
+		t.Fatal("live license survived key rotation")
+	}
+	// A request in the next epoch gets a new key.
+	req.Now = now.Add(rotation)
+	lic2, _, err := ks.Issue(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lic2.KeyEpoch == lic1.KeyEpoch {
+		t.Fatal("key epoch did not advance")
+	}
+	// VoD licenses are unaffected by rotation.
+	vod, _, err := ks.Issue(Request{ContentID: "v1", Device: model(t, "Roku"), System: Widevine, Now: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vod.Valid(now.Add(59 * time.Minute)) {
+		t.Fatal("VoD license truncated by rotation")
+	}
+}
+
+func TestNewKeyServerValidation(t *testing.T) {
+	if _, err := NewKeyServer(nil, 0, 0); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	ks, err := NewKeyServer(dist.NewSource(1), 0, 0)
+	if err != nil || ks.ttl != 24*time.Hour {
+		t.Fatalf("default TTL not applied: %v %v", ks.ttl, err)
+	}
+}
+
+func TestKeyServerConcurrent(t *testing.T) {
+	ks, _ := NewKeyServer(dist.NewSource(3), time.Minute, time.Hour)
+	now := time.Date(2018, 3, 1, 12, 0, 0, 0, time.UTC)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ks.Issue(Request{ContentID: "c", Device: model(t, "Roku"), System: Widevine, Now: now})
+			}
+		}()
+	}
+	wg.Wait()
+	if issued, _ := ks.Stats(); issued != 1600 {
+		t.Fatalf("issued = %d, want 1600", issued)
+	}
+}

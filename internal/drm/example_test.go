@@ -1,0 +1,24 @@
+package drm_test
+
+import (
+	"fmt"
+
+	"vmp/internal/device"
+	"vmp/internal/drm"
+)
+
+// ExampleRequiredSystems computes the multi-DRM set a publisher needs
+// to protect content on a mixed device fleet.
+func ExampleRequiredSystems() {
+	var fleet []device.Model
+	for _, name := range []string{"iPhone", "AndroidPhone", "Roku", "Xbox"} {
+		m, _ := device.ByName(name)
+		fleet = append(fleet, m)
+	}
+	systems, uncovered := drm.RequiredSystems(fleet)
+	fmt.Println("systems needed:", systems)
+	fmt.Println("uncovered:", uncovered)
+	// Output:
+	// systems needed: [Widevine PlayReady FairPlay]
+	// uncovered: []
+}

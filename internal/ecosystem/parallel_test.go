@@ -1,0 +1,30 @@
+package ecosystem
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestParallelGenerationMatchesSerial verifies the determinism claim:
+// parallel and serial generation produce the same record multiset.
+func TestParallelGenerationMatchesSerial(t *testing.T) {
+	serial := New(Config{SnapshotStride: 15, Parallelism: 1}).GenerateStore()
+	parallel := New(Config{SnapshotStride: 15, Parallelism: 8}).GenerateStore()
+	a, b := serial.All(), parallel.All()
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = a[i].Timestamp.String() + "|" + a[i].URL + "|" + a[i].Device
+		kb[i] = b[i].Timestamp.String() + "|" + b[i].URL + "|" + b[i].Device
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("record %d differs:\n%s\n%s", i, ka[i], kb[i])
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package ecosystem
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vmp/internal/device"
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+	"vmp/internal/packaging"
+	"vmp/internal/simclock"
+	"vmp/internal/telemetry"
+)
+
+// deviceMixAt returns the view-hour weights over device models within a
+// platform at study fraction f, encoding the within-platform trends of
+// Fig 10: HTML5 overtaking Flash in browsers, Android catching up with
+// iOS on mobile, Roku dominating set-tops.
+func deviceMixAt(pl device.Platform, f float64) (models []string, weights []float64) {
+	switch pl {
+	case device.Browser:
+		return []string{"HTML5", "Flash", "Silverlight"},
+			[]float64{dist.Linear(f, 0.25, 0.58), dist.Linear(f, 0.60, 0.37), dist.Linear(f, 0.15, 0.05)}
+	case device.Mobile:
+		return []string{"iPhone", "iPad", "AndroidPhone", "AndroidTablet"},
+			[]float64{dist.Linear(f, 0.42, 0.33), dist.Linear(f, 0.20, 0.17),
+				dist.Linear(f, 0.28, 0.38), dist.Linear(f, 0.10, 0.12)}
+	case device.SetTop:
+		return []string{"Roku", "AppleTV", "FireTV", "Chromecast"},
+			[]float64{0.54, 0.20, dist.Linear(f, 0.12, 0.17), dist.Linear(f, 0.14, 0.09)}
+	case device.SmartTV:
+		return []string{"SamsungTV", "LGTV", "VizioTV"}, []float64{0.50, 0.30, 0.20}
+	default:
+		return []string{"Xbox", "PlayStation"}, []float64{0.58, 0.42}
+	}
+}
+
+// durationHours samples one view duration (hours) for a platform,
+// matching Fig 8: only ~24% of mobile and browser views exceed 0.2
+// hours while more than 60% of set-top views do.
+func durationHours(src *dist.Source, pl device.Platform) float64 {
+	var medianH, sigma float64
+	switch pl {
+	case device.Mobile:
+		medianH, sigma = 0.055, 1.50
+	case device.Browser:
+		medianH, sigma = 0.070, 1.52
+	case device.SetTop:
+		medianH, sigma = 0.40, 0.95
+	case device.SmartTV:
+		medianH, sigma = 0.34, 1.0
+	default: // Console
+		medianH, sigma = 0.18, 1.1
+	}
+	d := src.LogNormal(math.Log(medianH), sigma)
+	if d > 4 {
+		d = 4 // sessions cap out at a long evening
+	}
+	if d < 0.003 {
+		d = 0.003 // sub-10-second views are dropped by the collector
+	}
+	return d
+}
+
+// connTypeFor draws the access-network type given the platform.
+func connTypeFor(src *dist.Source, pl device.Platform) netmodel.ConnType {
+	switch pl {
+	case device.Mobile:
+		if src.Bool(0.45) {
+			return netmodel.Cellular
+		}
+		return netmodel.WiFi
+	case device.Browser:
+		if src.Bool(0.55) {
+			return netmodel.Wired
+		}
+		return netmodel.WiFi
+	default:
+		if src.Bool(0.30) {
+			return netmodel.Wired
+		}
+		return netmodel.WiFi
+	}
+}
+
+// GeoCount is the number of distinct viewer geographies the population
+// serves (§3: "the publishers in our study together serve 180
+// countries").
+const GeoCount = 180
+
+var geoZipf = dist.NewZipf(GeoCount, 1.1)
+
+func geoFor(src *dist.Source) string {
+	return fmt.Sprintf("G%03d", geoZipf.Draw(src))
+}
+
+// maxSamplesPerSnapshot bounds per-publisher sample counts so the
+// synthetic census stays tractable; Weight carries the expansion.
+const (
+	minSamplesPerSnapshot = 24
+	maxSamplesPerSnapshot = 420
+)
+
+// baseFailureRate is the organic fraction of views that abort on a
+// fatal error, absent injected faults.
+const baseFailureRate = 0.008
+
+// sampleCount sizes a publisher's per-snapshot sample.
+func sampleCount(viewHours float64) int {
+	n := int(6 * math.Sqrt(viewHours))
+	if n < minSamplesPerSnapshot {
+		return minSamplesPerSnapshot
+	}
+	if n > maxSamplesPerSnapshot {
+		return maxSamplesPerSnapshot
+	}
+	return n
+}
+
+// ladderFor returns the publisher's encoding ladder. Ladder height
+// scales with publisher size — big publishers fund 4K-grade toplines.
+func (e *Ecosystem) ladderFor(p *Publisher) manifest.Ladder {
+	if l, ok := e.ladders[p.ID]; ok {
+		return l
+	}
+	maxKbps := 1200 + 1400*int(p.Bucket)
+	l := packaging.PerTitleLadder(e.root.Split("ladder-"+p.ID), maxKbps, 1)
+	e.ladders[p.ID] = l
+	return l
+}
+
+// samplePublisherSnapshot emits the sampled view records for one
+// publisher in one snapshot window.
+func (e *Ecosystem) samplePublisherSnapshot(p *Publisher, snap simclock.Snapshot) []telemetry.ViewRecord {
+	mid := snap.Start.Add(time.Duration(snap.Days) * simclock.Day / 2)
+	f := simclock.FractionThrough(mid)
+	vh := p.DailyViewHoursAt(mid) * float64(snap.Days)
+	src := e.root.Split("sample-" + p.ID + "-" + snap.Label())
+
+	platforms := p.PlatformsAt(mid)
+	if len(platforms) == 0 {
+		return nil
+	}
+	// platformWeightAt gives view-HOUR weights; dividing by the
+	// platform's mean view duration converts them to view-count
+	// weights so that, after durations are sampled, each platform's
+	// share of view-hours matches its configured weight.
+	vhWeights := make([]float64, len(platforms))
+	platWeights := make([]float64, len(platforms))
+	var vhTotal, viewTotal float64
+	for i, pl := range platforms {
+		vhWeights[i] = p.platformWeightAt(pl, mid)
+		platWeights[i] = vhWeights[i] / meanDurationHours(pl)
+		vhTotal += vhWeights[i]
+		viewTotal += platWeights[i]
+	}
+	if vhTotal == 0 {
+		return nil
+	}
+	// E[duration] under the view mix converts view-hours into the real
+	// view count the sample represents.
+	meanDur := vhTotal / viewTotal
+	realViews := vh / meanDur
+	n := sampleCount(vh)
+	weight := realViews / float64(n)
+
+	ladder := e.ladderFor(p)
+	zipf := e.catalogZipf(p)
+	records := make([]telemetry.ViewRecord, 0, n)
+	for i := 0; i < n; i++ {
+		vsrc := src.Splitf("view", i)
+		rec, ok := e.sampleView(p, mid, f, snap, vsrc, platforms, platWeights, ladder, zipf)
+		if !ok {
+			continue
+		}
+		rec.Weight = weight
+		records = append(records, rec)
+	}
+	return records
+}
+
+// meanDurationHours is E[duration] for the platform's log-normal.
+func meanDurationHours(pl device.Platform) float64 {
+	switch pl {
+	case device.Mobile:
+		return 0.055 * math.Exp(1.50*1.50/2)
+	case device.Browser:
+		return 0.070 * math.Exp(1.52*1.52/2)
+	case device.SetTop:
+		return 0.40 * math.Exp(0.95*0.95/2)
+	case device.SmartTV:
+		return 0.34 * math.Exp(1.0/2)
+	default:
+		return 0.18 * math.Exp(1.1*1.1/2)
+	}
+}
+
+func (e *Ecosystem) catalogZipf(p *Publisher) *dist.Zipf {
+	if z, ok := e.zipfs[p.CatalogSize]; ok {
+		return z
+	}
+	z := dist.NewZipf(p.CatalogSize, 0.9)
+	e.zipfs[p.CatalogSize] = z
+	return z
+}
+
+// sampleView draws one view record. It returns ok=false when no
+// (device, protocol) combination is playable — rare, but possible for
+// odd configs early in adoption.
+func (e *Ecosystem) sampleView(p *Publisher, mid time.Time, f float64, snap simclock.Snapshot,
+	src *dist.Source, platforms []device.Platform, platWeights []float64,
+	ladder manifest.Ladder, zipf *dist.Zipf) (telemetry.ViewRecord, bool) {
+
+	live := src.Split("live").Bool(p.LiveShare)
+
+	// Pick platform → device → protocol, retrying on incompatibility.
+	var (
+		model device.Model
+		proto manifest.Protocol
+		pl    device.Platform
+	)
+	found := false
+	for attempt := 0; attempt < 5 && !found; attempt++ {
+		asrc := src.Splitf("attempt", attempt)
+		pl = platforms[asrc.Categorical(platWeights)]
+		names, weights := deviceMixAt(pl, f)
+		model, _ = device.ByName(names[asrc.Categorical(weights)])
+		proto, found = e.pickProtocol(p, model, mid, asrc)
+	}
+	if !found {
+		// Fall back to the universal combination if the publisher has
+		// it; otherwise drop the sample.
+		if html5, ok := device.ByName("HTML5"); ok && p.SupportsPlatformAt(device.Browser, mid) {
+			model, pl = html5, device.Browser
+			var ok2 bool
+			proto, ok2 = e.pickProtocol(p, model, mid, src.Split("fallback"))
+			if !ok2 {
+				return telemetry.ViewRecord{}, false
+			}
+		} else {
+			return telemetry.ViewRecord{}, false
+		}
+	}
+
+	// CDN selection honoring live/VoD segregation.
+	assignments := p.CDNsAt(mid)
+	cdnName, ok := pickCDN(assignments, live, src.Split("cdn"))
+	if !ok {
+		return telemetry.ViewRecord{}, false
+	}
+	cdns := []string{cdnName}
+	if len(assignments) > 1 && src.Split("midstream").Bool(0.08) {
+		if second, ok := pickCDN(assignments, live, src.Split("cdn2")); ok && second != cdnName {
+			cdns = append(cdns, second)
+		}
+	}
+
+	// Content identity and syndication.
+	videoRank := zipf.Draw(src.Split("video"))
+	videoID := p.VideoID(videoRank)
+	contentID := videoID
+	owner := ""
+	syndicated := false
+	if p.IsSyndicator && len(p.CarriesFrom) > 0 && src.Split("synd").Bool(p.SyndShare) {
+		owner = p.CarriesFrom[src.Split("which-owner").Intn(len(p.CarriesFrom))]
+		contentID = fmt.Sprintf("%s-v%04d", owner, videoRank%600)
+		videoID = fmt.Sprintf("%s-s%04d", p.ID, videoRank)
+		syndicated = true
+	}
+
+	durH := durationHours(src.Split("dur"), pl)
+	conn := connTypeFor(src.Split("conn"), pl)
+	isp := netmodel.ISPs[src.Split("isp").Intn(len(netmodel.ISPs))]
+	ts := snap.Start.Add(time.Duration(src.Split("ts").Float64() * float64(snap.Days) * float64(simclock.Day)))
+
+	// Fast-path QoE: an analytic stand-in for full playback, used for
+	// population-scale generation. The §6 experiments re-measure QoE
+	// with the real player on the slices they study.
+	cdnObj, _ := e.CDNs.ByName(cdnName)
+	quality := 0.7
+	if cdnObj != nil {
+		quality = cdnObj.Quality(isp.Name)
+	}
+	prof := netmodel.PathProfile(isp, conn, quality)
+	qsrc := src.Split("qoe")
+	achievable := prof.MeanKbps * qsrc.Uniform(0.5, 0.95)
+	avgKbps := math.Min(float64(ladder.Max()), achievable*0.8)
+	if avgKbps < float64(ladder.Min()) {
+		avgKbps = float64(ladder.Min())
+	}
+	rebufSec := 0.0
+	if qsrc.Bool(0.18) { // most views play clean; a tail rebuffers
+		rebufSec = qsrc.Exponential(0.012 * durH * 3600)
+	}
+	// A small organic failure rate: views that hit a fatal error
+	// mid-session (§5's troubleshooting raw material). Failures are
+	// uniform here; the triage test harness injects the structured
+	// faults.
+	failed := qsrc.Bool(baseFailureRate)
+
+	rec := telemetry.ViewRecord{
+		Timestamp:      ts,
+		Publisher:      p.ID,
+		VideoID:        videoID,
+		URL:            manifest.ManifestURL(proto, cdnBaseURL(cdnName, p.ID), videoID),
+		Device:         model.Name,
+		OS:             model.OS,
+		CDNs:           cdns,
+		Bitrates:       ladder.Bitrates(),
+		ISP:            isp.Name,
+		ConnType:       conn.String(),
+		Geo:            geoFor(src.Split("geo")),
+		Live:           live,
+		Syndicated:     syndicated,
+		ContentID:      contentID,
+		Owner:          owner,
+		ViewSec:        durH * 3600,
+		AvgBitrateKbps: avgKbps,
+		RebufferSec:    rebufSec,
+		Failed:         failed,
+	}
+	ver := pickSDKVersion(model, mid, p.SDKLag, src.Split("sdk"))
+	if model.Platform == device.Browser {
+		rec.UserAgent = model.UserAgent(ver)
+	} else {
+		rec.SDK = ver.Family
+		rec.SDKVersion = ver.Version
+	}
+	return rec, true
+}
+
+// pickProtocol chooses a streaming protocol compatible with both the
+// publisher's packaging and the device, weighted by the publisher's
+// protocol preferences.
+func (e *Ecosystem) pickProtocol(p *Publisher, model device.Model, t time.Time, src *dist.Source) (manifest.Protocol, bool) {
+	candidates := []manifest.Protocol{manifest.HLS, manifest.DASH, manifest.Smooth, manifest.HDS, manifest.RTMP}
+	var protos []manifest.Protocol
+	var weights []float64
+	for _, proto := range candidates {
+		if !model.Supports(proto) {
+			continue
+		}
+		w := p.protocolWeightAt(proto, t)
+		if proto == manifest.RTMP {
+			if model.Name != "Flash" {
+				continue
+			}
+			w = p.rtmpWeight0 * dist.Linear(simclock.FractionThrough(t), 1, 0.02)
+			if p.rtmpWeight0 == 0 {
+				continue
+			}
+		}
+		if w <= 0 {
+			continue
+		}
+		protos = append(protos, proto)
+		weights = append(weights, w)
+	}
+	if len(protos) == 0 {
+		return manifest.Unknown, false
+	}
+	return protos[src.Categorical(weights)], true
+}
+
+// pickSDKVersion draws the SDK version a user's device runs, lagging
+// behind the newest release per the publisher's supported window.
+func pickSDKVersion(model device.Model, t time.Time, lag int, src *dist.Source) device.SDKVersion {
+	versions := model.VersionsInUse(t, lag)
+	// Newer versions are more common; weight geometrically.
+	weights := make([]float64, len(versions))
+	w := 1.0
+	for i := range versions {
+		weights[i] = w
+		w *= 0.55
+	}
+	return versions[src.Categorical(weights)]
+}
+
+// pickCDN selects a CDN name from assignments eligible for the content
+// type.
+func pickCDN(assignments []CDNAssignment, live bool, src *dist.Source) (string, bool) {
+	var names []string
+	var weights []float64
+	for _, a := range assignments {
+		if live && a.VoDOnly || !live && a.LiveOnly {
+			continue
+		}
+		if a.Weight <= 0 {
+			continue
+		}
+		names = append(names, a.Name)
+		weights = append(weights, a.Weight)
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	return names[src.Categorical(weights)], true
+}
+
+// cdnBaseURL mints the per-publisher base URL on a CDN host.
+func cdnBaseURL(cdnName, pubID string) string {
+	return fmt.Sprintf("http://cdn-%s.example.net/%s", cdnName, pubID)
+}

@@ -1,0 +1,141 @@
+package manifest
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the manifest parsers: whatever bytes arrive, the
+// parsers must return structured errors, never panic, and any manifest
+// they accept must satisfy the package invariants. Run with
+// `go test -fuzz FuzzParseHLSMaster ./internal/manifest` to explore;
+// the seed corpus runs as part of the ordinary test suite.
+
+func checkParsed(t *testing.T, m *Manifest) {
+	t.Helper()
+	if m == nil {
+		return
+	}
+	if len(m.Ladder) == 0 {
+		t.Fatal("accepted manifest with empty ladder")
+	}
+	if m.ChunkSec <= 0 {
+		t.Fatalf("accepted manifest with ChunkSec %v", m.ChunkSec)
+	}
+	if m.ChunkCount() <= 0 {
+		t.Fatal("accepted manifest with no chunks")
+	}
+	// Chunk addressing must hold for every corner of the index space.
+	_ = m.ChunkURL(0, 0)
+	_ = m.ChunkURL(len(m.Ladder)-1, m.ChunkCount()-1)
+}
+
+func FuzzParseHLSMaster(f *testing.F) {
+	good, _ := Generate(HLS, testSpec(), "http://cdn/p")
+	f.Add(good)
+	f.Add("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=100000\nr0.m3u8\n")
+	f.Add("#EXTM3U\n#EXT-X-SESSION-DATA:DATA-ID=\"x\",VALUE=\"chunksec=nope chunks=-3\"\n" +
+		"#EXT-X-STREAM-INF:BANDWIDTH=100000\nr0.m3u8\n")
+	f.Add("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1000,CODECS=\"a,b\",RESOLUTION=1x\nu\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := parseHLSMaster(text)
+		if err == nil {
+			checkParsed(t, m)
+		}
+	})
+}
+
+func FuzzParseHLSMedia(f *testing.F) {
+	media, _ := GenerateHLSMedia(testSpec(), 0, "http://cdn/p")
+	f.Add(media)
+	brSpec := testSpec()
+	brSpec.ByteRange = true
+	brMedia, _ := GenerateHLSMedia(brSpec, 0, "http://cdn/p")
+	f.Add(brMedia)
+	f.Add("#EXTM3U\n#EXTINF:4.0,\n#EXT-X-BYTERANGE:10\nm.ts\n")
+	f.Add("#EXTM3U\n#EXTINF:nope,\nseg.ts\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParseHLSMedia(text)
+		if err != nil {
+			return
+		}
+		if len(p.SegmentURIs) != len(p.SegmentSecs) {
+			t.Fatal("URI/duration length mismatch")
+		}
+		if p.ByteRange && len(p.SegmentOffsets) != len(p.SegmentURIs) {
+			t.Fatal("byte-range bookkeeping mismatch")
+		}
+	})
+}
+
+func FuzzParseMPD(f *testing.F) {
+	good, _ := Generate(DASH, testSpec(), "http://cdn/p")
+	f.Add(good)
+	f.Add(timelineMPD)
+	f.Add(`<MPD type="static" mediaPresentationDuration="PT10S"><Period id="p0"/></MPD>`)
+	f.Add(`<MPD`)
+	f.Add(strings.Repeat("<Period>", 40))
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := parseMPD(text)
+		if err == nil {
+			checkParsed(t, m)
+		}
+	})
+}
+
+func FuzzParseSmooth(f *testing.F) {
+	good, _ := Generate(Smooth, testSpec(), "http://cdn/p")
+	f.Add(good)
+	f.Add(`<SmoothStreamingMedia MajorVersion="2"><StreamIndex Type="video"/></SmoothStreamingMedia>`)
+	f.Add(`<SmoothStreamingMedia TimeScale="0"><StreamIndex Type="video" Chunks="1">` +
+		`<QualityLevel Bitrate="1000"/><c d="0"/></StreamIndex></SmoothStreamingMedia>`)
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := parseSmooth(text)
+		if err == nil {
+			checkParsed(t, m)
+		}
+	})
+}
+
+func FuzzParseHDS(f *testing.F) {
+	good, _ := Generate(HDS, testSpec(), "http://cdn/p")
+	f.Add(good)
+	f.Add(`<manifest><media bitrate="0" url="u"/></manifest>`)
+	f.Add(`<manifest><duration>-5</duration><fragmentDuration>4</fragmentDuration>` +
+		`<media bitrate="100" url="u"/></manifest>`)
+	f.Fuzz(func(t *testing.T, text string) {
+		m, err := parseHDS(text)
+		if err == nil {
+			checkParsed(t, m)
+		}
+	})
+}
+
+func FuzzInferProtocol(f *testing.F) {
+	f.Add("http://x/master.m3u8")
+	f.Add("rtmp://host/app")
+	f.Add("://")
+	f.Add("HTTP://X/A.MPD?q=1#f")
+	f.Fuzz(func(t *testing.T, url string) {
+		// Must never panic, and must be case-insensitive.
+		p1 := InferProtocol(url)
+		p2 := InferProtocol(strings.ToUpper(url))
+		if p1 != p2 {
+			t.Fatalf("case sensitivity: %v vs %v for %q", p1, p2, url)
+		}
+	})
+}
+
+func FuzzParseISODuration(f *testing.F) {
+	f.Add("PT634.500S")
+	f.Add("PT1H2M3S")
+	f.Add("P1D")
+	f.Add("PT")
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := parseISODuration(s)
+		if err == nil && d <= 0 {
+			t.Fatalf("accepted non-positive duration %v from %q", d, s)
+		}
+	})
+}

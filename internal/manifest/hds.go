@@ -1,0 +1,108 @@
+package manifest
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Adobe HDS manifest support (.f4m). HDS clients fetch the manifest,
+// choose a <media> entry by bitrate, and request fragments at
+// <url>Seg1-Frag<N>. Durations are carried on the manifest itself; the
+// generator emits one media entry per rendition.
+
+type f4mXML struct {
+	XMLName       xml.Name      `xml:"manifest"`
+	Xmlns         string        `xml:"xmlns,attr"`
+	ID            string        `xml:"id"`
+	StreamType    string        `xml:"streamType"`
+	Duration      float64       `xml:"duration"`
+	FragDuration  float64       `xml:"fragmentDuration"`
+	AudioBitrate  int           `xml:"audioBitrate"`
+	Media         []f4mMediaXML `xml:"media"`
+	BootstrapInfo string        `xml:"bootstrapInfo"`
+}
+
+type f4mMediaXML struct {
+	Bitrate int    `xml:"bitrate,attr"`
+	Width   int    `xml:"width,attr,omitempty"`
+	Height  int    `xml:"height,attr,omitempty"`
+	URL     string `xml:"url,attr"`
+}
+
+// generateHDS renders spec as an F4M manifest.
+func generateHDS(spec *Spec, base string) (string, error) {
+	doc := f4mXML{
+		Xmlns:        "http://ns.adobe.com/f4m/1.0",
+		ID:           spec.VideoID,
+		Duration:     spec.DurationSec,
+		FragDuration: spec.ChunkSec,
+		AudioBitrate: spec.AudioKbps,
+	}
+	if spec.Live {
+		doc.StreamType = "live"
+	} else {
+		doc.StreamType = "recorded"
+	}
+	for i, r := range spec.Ladder {
+		doc.Media = append(doc.Media, f4mMediaXML{
+			Bitrate: r.BitrateKbps,
+			Width:   r.Width,
+			Height:  r.Height,
+			URL:     fmt.Sprintf("%s/%s/r%d", base, spec.VideoID, i),
+		})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("manifest: marshaling F4M: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// parseHDS decodes an F4M manifest into the common form.
+func parseHDS(text string) (*Manifest, error) {
+	var doc f4mXML
+	if err := xml.Unmarshal([]byte(text), &doc); err != nil {
+		return nil, fmt.Errorf("manifest: parsing F4M: %w", err)
+	}
+	if len(doc.Media) == 0 {
+		return nil, fmt.Errorf("manifest: F4M has no media entries")
+	}
+	if doc.FragDuration <= 0 {
+		return nil, fmt.Errorf("manifest: F4M fragmentDuration must be positive")
+	}
+	m := &Manifest{
+		Protocol:  HDS,
+		VideoID:   doc.ID,
+		AudioKbps: doc.AudioBitrate,
+		ChunkSec:  doc.FragDuration,
+		Live:      doc.StreamType == "live",
+	}
+	urls := make([]string, len(doc.Media))
+	for i, media := range doc.Media {
+		if media.Bitrate <= 0 {
+			return nil, fmt.Errorf("manifest: F4M media %d has non-positive bitrate", i)
+		}
+		m.Ladder = append(m.Ladder, Rendition{
+			BitrateKbps: media.Bitrate,
+			Width:       media.Width,
+			Height:      media.Height,
+		})
+		urls[i] = media.URL
+	}
+	if m.Live {
+		m.chunks = liveWindowChunks
+	} else {
+		if doc.Duration <= 0 {
+			return nil, fmt.Errorf("manifest: recorded F4M needs a positive duration")
+		}
+		m.chunks = int(doc.Duration / doc.FragDuration)
+		if float64(m.chunks)*doc.FragDuration < doc.Duration {
+			m.chunks++
+		}
+	}
+	m.chunkURL = func(rendition, chunk int) string {
+		// HDS fragments are 1-indexed.
+		return fmt.Sprintf("%sSeg1-Frag%d", urls[rendition], chunk+1)
+	}
+	return m, nil
+}

@@ -1,0 +1,300 @@
+package manifest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// HLS manifest support: master playlists referencing one media playlist
+// per rendition, RFC 8216 tag subset. The generator additionally emits
+// an #EXT-X-SESSION-DATA tag carrying the packaging metadata (video ID,
+// chunk duration, chunk count, audio bitrate) so that a parsed master is
+// self-sufficient for simulation; real players ignore unknown session
+// data, and our media playlists remain fully standard.
+
+// generateHLSMaster renders the master playlist for spec.
+func generateHLSMaster(spec *Spec, base string) string {
+	var b strings.Builder
+	b.WriteString("#EXTM3U\n#EXT-X-VERSION:3\n")
+	fmt.Fprintf(&b,
+		"#EXT-X-SESSION-DATA:DATA-ID=\"com.vmp.package\",VALUE=\"video=%s chunksec=%g chunks=%d audio=%d live=%t byterange=%t\"\n",
+		spec.VideoID, spec.ChunkSec, spec.ChunkCount(), spec.AudioKbps, spec.Live, spec.ByteRange)
+	for i, r := range spec.Ladder {
+		attrs := fmt.Sprintf("BANDWIDTH=%d", (r.BitrateKbps+spec.AudioKbps)*1000)
+		if r.Width > 0 && r.Height > 0 {
+			attrs += fmt.Sprintf(",RESOLUTION=%dx%d", r.Width, r.Height)
+		}
+		if r.Codec != "" {
+			attrs += fmt.Sprintf(",CODECS=%q", r.Codec)
+		}
+		fmt.Fprintf(&b, "#EXT-X-STREAM-INF:%s\n%s/%s/r%d.m3u8\n", attrs, base, spec.VideoID, i)
+	}
+	return b.String()
+}
+
+// GenerateHLSMedia renders the media playlist for one rendition of
+// spec: the per-chunk playlist a player fetches after choosing a
+// variant from the master.
+func GenerateHLSMedia(spec *Spec, rendition int, base string) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	if rendition < 0 || rendition >= len(spec.Ladder) {
+		return "", fmt.Errorf("manifest: rendition %d out of range", rendition)
+	}
+	base = strings.TrimSuffix(base, "/")
+	var b strings.Builder
+	version := 3
+	if spec.ByteRange {
+		version = 4 // EXT-X-BYTERANGE requires protocol version 4
+	}
+	fmt.Fprintf(&b, "#EXTM3U\n#EXT-X-VERSION:%d\n", version)
+	fmt.Fprintf(&b, "#EXT-X-TARGETDURATION:%d\n", int(spec.ChunkSec+0.999))
+	b.WriteString("#EXT-X-MEDIA-SEQUENCE:0\n")
+	if spec.Live {
+		b.WriteString("#EXT-X-PLAYLIST-TYPE:EVENT\n")
+	} else {
+		b.WriteString("#EXT-X-PLAYLIST-TYPE:VOD\n")
+	}
+	n := spec.ChunkCount()
+	remaining := spec.DurationSec
+	chunkBytes := int64(float64(spec.Ladder[rendition].BitrateKbps+spec.AudioKbps) * 1000 * spec.ChunkSec / 8)
+	var offset int64
+	for i := 0; i < n; i++ {
+		d := spec.ChunkSec
+		if !spec.Live && remaining < d {
+			d = remaining
+		}
+		remaining -= d
+		if spec.ByteRange {
+			fmt.Fprintf(&b, "#EXTINF:%.3f,\n#EXT-X-BYTERANGE:%d@%d\n%s/%s/r%d/media.ts\n",
+				d, chunkBytes, offset, base, spec.VideoID, rendition)
+			offset += chunkBytes
+		} else {
+			fmt.Fprintf(&b, "#EXTINF:%.3f,\n%s/%s/r%d/seg%d.ts\n", d, base, spec.VideoID, rendition, i)
+		}
+	}
+	if !spec.Live {
+		b.WriteString("#EXT-X-ENDLIST\n")
+	}
+	return b.String(), nil
+}
+
+// parseHLSMaster decodes a master playlist into the common Manifest
+// form. Renditions appear in playlist order; chunk addressing follows
+// the media-playlist URI convention emitted by the generator.
+func parseHLSMaster(text string) (*Manifest, error) {
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "#EXTM3U" {
+		return nil, fmt.Errorf("manifest: not an HLS playlist")
+	}
+	m := &Manifest{Protocol: HLS, chunks: 1, ChunkSec: 1}
+	var mediaURIs []string
+	var pending *Rendition
+	for _, raw := range lines[1:] {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "#EXT-X-SESSION-DATA:"):
+			parseHLSSessionData(line, m)
+		case strings.HasPrefix(line, "#EXT-X-STREAM-INF:"):
+			r, err := parseStreamInf(strings.TrimPrefix(line, "#EXT-X-STREAM-INF:"), m.AudioKbps)
+			if err != nil {
+				return nil, err
+			}
+			pending = &r
+		case line == "" || strings.HasPrefix(line, "#"):
+			// Comment or unrelated tag.
+		default:
+			if pending == nil {
+				return nil, fmt.Errorf("manifest: URI %q without #EXT-X-STREAM-INF", line)
+			}
+			m.Ladder = append(m.Ladder, *pending)
+			mediaURIs = append(mediaURIs, line)
+			pending = nil
+		}
+	}
+	if len(m.Ladder) == 0 {
+		return nil, fmt.Errorf("manifest: HLS master has no variants")
+	}
+	if m.ByteRange {
+		// One media file per rendition; chunks are ranges within it.
+		m.chunkURL = func(rendition, chunk int) string {
+			return strings.TrimSuffix(mediaURIs[rendition], ".m3u8") + "/media.ts"
+		}
+	} else {
+		m.chunkURL = func(rendition, chunk int) string {
+			return strings.TrimSuffix(mediaURIs[rendition], ".m3u8") + fmt.Sprintf("/seg%d.ts", chunk)
+		}
+	}
+	return m, nil
+}
+
+// parseHLSSessionData extracts the generator's packaging metadata.
+// Unknown or malformed session data is ignored, as a real player would.
+func parseHLSSessionData(line string, m *Manifest) {
+	i := strings.Index(line, `VALUE="`)
+	if i < 0 {
+		return
+	}
+	val := line[i+len(`VALUE="`):]
+	if j := strings.Index(val, `"`); j >= 0 {
+		val = val[:j]
+	}
+	for _, field := range strings.Fields(val) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "video":
+			m.VideoID = v
+		case "chunksec":
+			if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+				m.ChunkSec = f
+			}
+		case "chunks":
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				m.chunks = n
+			}
+		case "audio":
+			if n, err := strconv.Atoi(v); err == nil {
+				m.AudioKbps = n
+			}
+		case "live":
+			m.Live = v == "true"
+		case "byterange":
+			m.ByteRange = v == "true"
+		}
+	}
+}
+
+// parseStreamInf parses the attribute list of an #EXT-X-STREAM-INF tag.
+func parseStreamInf(attrs string, audioKbps int) (Rendition, error) {
+	var r Rendition
+	for _, kv := range splitHLSAttrs(attrs) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "BANDWIDTH":
+			bw, err := strconv.Atoi(v)
+			if err != nil {
+				return r, fmt.Errorf("manifest: bad BANDWIDTH %q", v)
+			}
+			r.BitrateKbps = bw/1000 - audioKbps
+		case "RESOLUTION":
+			w, h, ok := strings.Cut(v, "x")
+			if ok {
+				r.Width, _ = strconv.Atoi(w)
+				r.Height, _ = strconv.Atoi(h)
+			}
+		case "CODECS":
+			r.Codec = strings.Trim(v, `"`)
+		}
+	}
+	if r.BitrateKbps <= 0 {
+		return r, fmt.Errorf("manifest: variant without positive BANDWIDTH")
+	}
+	return r, nil
+}
+
+// splitHLSAttrs splits an HLS attribute list on commas, respecting
+// quoted values (CODECS="avc1.4d401f,mp4a.40.2" must not split).
+func splitHLSAttrs(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// MediaPlaylist is the parsed form of an HLS media playlist. For
+// byte-range playlists, SegmentOffsets and SegmentLengths carry the
+// range of each segment within its media file.
+type MediaPlaylist struct {
+	TargetDuration int
+	Live           bool
+	ByteRange      bool
+	SegmentURIs    []string
+	SegmentSecs    []float64
+	SegmentOffsets []int64
+	SegmentLengths []int64
+}
+
+// ParseHLSMedia decodes a media playlist.
+func ParseHLSMedia(text string) (*MediaPlaylist, error) {
+	lines := strings.Split(text, "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "#EXTM3U" {
+		return nil, fmt.Errorf("manifest: not an HLS playlist")
+	}
+	p := &MediaPlaylist{Live: true}
+	var (
+		pendingDur    float64
+		havePending   bool
+		pendingOff    int64
+		pendingLen    int64
+		haveRange     bool
+		nextImplicito int64 // implicit offset when BYTERANGE omits @o
+	)
+	for _, raw := range lines[1:] {
+		line := strings.TrimSpace(raw)
+		switch {
+		case strings.HasPrefix(line, "#EXT-X-TARGETDURATION:"):
+			p.TargetDuration, _ = strconv.Atoi(strings.TrimPrefix(line, "#EXT-X-TARGETDURATION:"))
+		case strings.HasPrefix(line, "#EXTINF:"):
+			v := strings.TrimSuffix(strings.TrimPrefix(line, "#EXTINF:"), ",")
+			d, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("manifest: bad #EXTINF %q", v)
+			}
+			pendingDur, havePending = d, true
+		case strings.HasPrefix(line, "#EXT-X-BYTERANGE:"):
+			spec := strings.TrimPrefix(line, "#EXT-X-BYTERANGE:")
+			lenStr, offStr, hasOff := strings.Cut(spec, "@")
+			n, err := strconv.ParseInt(lenStr, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("manifest: bad #EXT-X-BYTERANGE %q", spec)
+			}
+			off := nextImplicito
+			if hasOff {
+				off, err = strconv.ParseInt(offStr, 10, 64)
+				if err != nil || off < 0 {
+					return nil, fmt.Errorf("manifest: bad #EXT-X-BYTERANGE offset %q", spec)
+				}
+			}
+			pendingLen, pendingOff, haveRange = n, off, true
+			nextImplicito = off + n
+		case line == "#EXT-X-ENDLIST":
+			p.Live = false
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			if !havePending {
+				return nil, fmt.Errorf("manifest: segment %q without #EXTINF", line)
+			}
+			p.SegmentURIs = append(p.SegmentURIs, line)
+			p.SegmentSecs = append(p.SegmentSecs, pendingDur)
+			if haveRange {
+				p.ByteRange = true
+				p.SegmentOffsets = append(p.SegmentOffsets, pendingOff)
+				p.SegmentLengths = append(p.SegmentLengths, pendingLen)
+			} else if p.ByteRange {
+				return nil, fmt.Errorf("manifest: segment %q missing #EXT-X-BYTERANGE in byte-range playlist", line)
+			}
+			havePending, haveRange = false, false
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,153 @@
+package manifest
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// Microsoft SmoothStreaming manifest support. Smooth clients request
+// the server manifest at <name>.ism/manifest and then fetch fragments
+// at URLs built from the StreamIndex Url template:
+// QualityLevels(<bitrate>)/Fragments(video=<timestamp>). Timestamps are
+// in 100-nanosecond (HNS) units.
+
+const smoothTimescale = 10_000_000 // 100ns units per second
+
+type smoothXML struct {
+	XMLName      xml.Name         `xml:"SmoothStreamingMedia"`
+	MajorVersion int              `xml:"MajorVersion,attr"`
+	MinorVersion int              `xml:"MinorVersion,attr"`
+	Duration     int64            `xml:"Duration,attr"`
+	TimeScale    int64            `xml:"TimeScale,attr"`
+	IsLive       bool             `xml:"IsLive,attr,omitempty"`
+	VideoID      string           `xml:"ID,attr"`
+	Streams      []streamIndexXML `xml:"StreamIndex"`
+}
+
+type streamIndexXML struct {
+	Type          string            `xml:"Type,attr"`
+	Chunks        int               `xml:"Chunks,attr"`
+	QualityLevels int               `xml:"QualityLevels,attr"`
+	URL           string            `xml:"Url,attr"`
+	Levels        []qualityLevelXML `xml:"QualityLevel"`
+	Fragments     []fragmentXML     `xml:"c"`
+}
+
+type qualityLevelXML struct {
+	Index     int    `xml:"Index,attr"`
+	Bitrate   int    `xml:"Bitrate,attr"`
+	MaxWidth  int    `xml:"MaxWidth,attr,omitempty"`
+	MaxHeight int    `xml:"MaxHeight,attr,omitempty"`
+	FourCC    string `xml:"FourCC,attr,omitempty"`
+}
+
+type fragmentXML struct {
+	D int64 `xml:"d,attr"` // fragment duration in TimeScale units
+}
+
+// generateSmooth renders spec as a SmoothStreaming server manifest.
+func generateSmooth(spec *Spec, base string) (string, error) {
+	chunkHNS := int64(spec.ChunkSec * smoothTimescale)
+	n := spec.ChunkCount()
+	video := streamIndexXML{
+		Type:          "video",
+		Chunks:        n,
+		QualityLevels: len(spec.Ladder),
+		URL:           base + "/" + spec.VideoID + ".ism/QualityLevels({bitrate})/Fragments(video={start time})",
+	}
+	for i, r := range spec.Ladder {
+		video.Levels = append(video.Levels, qualityLevelXML{
+			Index:     i,
+			Bitrate:   r.BitrateKbps * 1000,
+			MaxWidth:  r.Width,
+			MaxHeight: r.Height,
+			FourCC:    "H264",
+		})
+	}
+	for i := 0; i < n; i++ {
+		video.Fragments = append(video.Fragments, fragmentXML{D: chunkHNS})
+	}
+	audio := streamIndexXML{
+		Type:          "audio",
+		Chunks:        n,
+		QualityLevels: 1,
+		URL:           base + "/" + spec.VideoID + ".ism/QualityLevels({bitrate})/Fragments(audio={start time})",
+		Levels:        []qualityLevelXML{{Index: 0, Bitrate: spec.AudioKbps * 1000, FourCC: "AACL"}},
+	}
+	doc := smoothXML{
+		MajorVersion: 2,
+		MinorVersion: 2,
+		Duration:     int64(spec.DurationSec * smoothTimescale),
+		TimeScale:    smoothTimescale,
+		IsLive:       spec.Live,
+		VideoID:      spec.VideoID,
+		Streams:      []streamIndexXML{video, audio},
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("manifest: marshaling Smooth manifest: %w", err)
+	}
+	return xml.Header + string(out) + "\n", nil
+}
+
+// parseSmooth decodes a SmoothStreaming manifest into the common form.
+func parseSmooth(text string) (*Manifest, error) {
+	var doc smoothXML
+	if err := xml.Unmarshal([]byte(text), &doc); err != nil {
+		return nil, fmt.Errorf("manifest: parsing Smooth manifest: %w", err)
+	}
+	ts := doc.TimeScale
+	if ts == 0 {
+		ts = smoothTimescale // spec default
+	}
+	m := &Manifest{Protocol: Smooth, VideoID: doc.VideoID, Live: doc.IsLive}
+	var video *streamIndexXML
+	for i := range doc.Streams {
+		s := &doc.Streams[i]
+		switch s.Type {
+		case "video":
+			video = s
+		case "audio":
+			if len(s.Levels) > 0 {
+				m.AudioKbps = s.Levels[0].Bitrate / 1000
+			}
+		}
+	}
+	if video == nil || len(video.Levels) == 0 {
+		return nil, fmt.Errorf("manifest: Smooth manifest has no video stream")
+	}
+	for _, l := range video.Levels {
+		m.Ladder = append(m.Ladder, Rendition{
+			BitrateKbps: l.Bitrate / 1000,
+			Width:       l.MaxWidth,
+			Height:      l.MaxHeight,
+			Codec:       l.FourCC,
+		})
+	}
+	if len(video.Fragments) == 0 {
+		return nil, fmt.Errorf("manifest: Smooth video stream has no fragments")
+	}
+	m.chunks = len(video.Fragments)
+	m.ChunkSec = float64(video.Fragments[0].D) / float64(ts)
+	if m.ChunkSec <= 0 {
+		return nil, fmt.Errorf("manifest: Smooth fragment with non-positive duration")
+	}
+	// Fragment start times are cumulative durations.
+	starts := make([]int64, len(video.Fragments))
+	var acc int64
+	for i, f := range video.Fragments {
+		starts[i] = acc
+		acc += f.D
+	}
+	bitrates := make([]int, len(video.Levels))
+	for i, l := range video.Levels {
+		bitrates[i] = l.Bitrate
+	}
+	urlTpl := video.URL
+	m.chunkURL = func(rendition, chunk int) string {
+		u := strings.ReplaceAll(urlTpl, "{bitrate}", fmt.Sprint(bitrates[rendition]))
+		return strings.ReplaceAll(u, "{start time}", fmt.Sprint(starts[chunk]))
+	}
+	return m, nil
+}

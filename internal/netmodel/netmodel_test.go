@@ -1,0 +1,153 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"vmp/internal/dist"
+)
+
+func TestConnTypeStrings(t *testing.T) {
+	if WiFi.String() != "WiFi" || Cellular.String() != "4G" || Wired.String() != "Wired" {
+		t.Fatal("connection type names drifted from telemetry schema")
+	}
+	if ConnType(9).String() != "ConnType(9)" {
+		t.Error("unknown conn type should format numerically")
+	}
+}
+
+func TestISPRegistry(t *testing.T) {
+	if len(ISPs) < 2 {
+		t.Fatal("need at least ISP X and ISP Y for Fig 15/16")
+	}
+	x, ok := ISPByName("ISP-X")
+	if !ok {
+		t.Fatal("ISP-X missing")
+	}
+	y, ok := ISPByName("ISP-Y")
+	if !ok {
+		t.Fatal("ISP-Y missing")
+	}
+	if x.CapacityKbps <= y.CapacityKbps {
+		t.Error("ISP-X should out-provision ISP-Y")
+	}
+	if _, ok := ISPByName("ISP-Q"); ok {
+		t.Error("unknown ISP resolved")
+	}
+}
+
+func TestPathProfileOrdering(t *testing.T) {
+	isp, _ := ISPByName("ISP-X")
+	wired := PathProfile(isp, Wired, 1.0)
+	wifi := PathProfile(isp, WiFi, 1.0)
+	cell := PathProfile(isp, Cellular, 1.0)
+	if !(wired.MeanKbps > wifi.MeanKbps && wifi.MeanKbps > cell.MeanKbps) {
+		t.Fatalf("capacity ordering violated: wired %v wifi %v cell %v",
+			wired.MeanKbps, wifi.MeanKbps, cell.MeanKbps)
+	}
+	if !(cell.RTTms > wifi.RTTms && wifi.RTTms > wired.RTTms) {
+		t.Fatalf("RTT ordering violated")
+	}
+}
+
+func TestPathProfileCDNQuality(t *testing.T) {
+	isp, _ := ISPByName("ISP-X")
+	good := PathProfile(isp, WiFi, 1.0)
+	bad := PathProfile(isp, WiFi, 0.5)
+	if bad.MeanKbps >= good.MeanKbps {
+		t.Error("poor CDN quality should reduce throughput")
+	}
+	if bad.RTTms <= good.RTTms {
+		t.Error("poor CDN quality should increase RTT")
+	}
+	// Degenerate qualities clamp rather than break.
+	if p := PathProfile(isp, WiFi, -1); p.MeanKbps <= 0 {
+		t.Error("negative quality should clamp to a positive floor")
+	}
+	if p := PathProfile(isp, WiFi, 99); p.MeanKbps > good.MeanKbps*2 {
+		t.Error("quality should clamp above")
+	}
+}
+
+func TestTraceMedianNearMean(t *testing.T) {
+	isp, _ := ISPByName("ISP-X")
+	prof := PathProfile(isp, Wired, 1.0)
+	tr := prof.NewTrace(dist.NewSource(7))
+	var samples []float64
+	for i := 0; i < 20000; i++ {
+		samples = append(samples, tr.NextKbps())
+	}
+	// Long-run mean of the log-normal process should approximate
+	// MeanKbps (the process is mean-corrected by sigma^2/2).
+	sum := 0.0
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(len(samples))
+	if mean < prof.MeanKbps*0.85 || mean > prof.MeanKbps*1.15 {
+		t.Fatalf("trace mean %v vs profile mean %v", mean, prof.MeanKbps)
+	}
+}
+
+func TestTraceCorrelation(t *testing.T) {
+	isp, _ := ISPByName("ISP-Y")
+	prof := PathProfile(isp, WiFi, 1.0)
+	tr := prof.NewTrace(dist.NewSource(11))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, math.Log(tr.NextKbps()))
+	}
+	// Lag-1 autocorrelation of the log process should be near Rho.
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var num, den float64
+	for i := 1; i < len(xs); i++ {
+		num += (xs[i] - mean) * (xs[i-1] - mean)
+	}
+	for _, x := range xs {
+		den += (x - mean) * (x - mean)
+	}
+	rho := num / den
+	if rho < 0.7 || rho > 0.95 {
+		t.Fatalf("lag-1 autocorrelation %v, want ~0.85", rho)
+	}
+}
+
+func TestTraceFloor(t *testing.T) {
+	// Even a terrible path never reports zero bandwidth.
+	prof := Profile{MeanKbps: 60, Sigma: 2.0, Rho: 0.9, RTTms: 100}
+	tr := prof.NewTrace(dist.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		if v := tr.NextKbps(); v < 50 {
+			t.Fatalf("bandwidth %v below floor", v)
+		}
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	isp, _ := ISPByName("ISP-Z")
+	prof := PathProfile(isp, Cellular, 0.9)
+	a := prof.NewTrace(dist.NewSource(42))
+	b := prof.NewTrace(dist.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if a.NextKbps() != b.NextKbps() {
+			t.Fatal("traces with equal seeds diverged")
+		}
+	}
+}
+
+func TestDownloadSec(t *testing.T) {
+	prof := Profile{MeanKbps: 8000, Sigma: 0.0001, Rho: 0, RTTms: 20}
+	tr := prof.NewTrace(dist.NewSource(1))
+	// 1 MB at ~8 Mbps ≈ 1 s + RTT.
+	sec := tr.DownloadSec(1_000_000)
+	if sec < 0.9 || sec > 1.2 {
+		t.Fatalf("DownloadSec(1MB @8Mbps) = %v, want ~1.02", sec)
+	}
+	if rtt := tr.RTT(); rtt != 0.02 {
+		t.Fatalf("RTT() = %v, want 0.02", rtt)
+	}
+}

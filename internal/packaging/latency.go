@@ -1,0 +1,88 @@
+package packaging
+
+import (
+	"fmt"
+
+	"vmp/internal/manifest"
+)
+
+// Live latency model (§4.1): "our publishers prefer HTTP-based
+// streaming protocols even though these protocols may add a few
+// seconds of encoding and packaging delay to live streams". This file
+// models glass-to-glass latency — camera to viewer's screen — as the
+// sum of the pipeline stages the management plane controls.
+
+// LatencyBreakdown itemizes one live stream's glass-to-glass latency.
+type LatencyBreakdown struct {
+	EncodeSec     float64 // ingest + transcode lookahead
+	PackageSec    float64 // chunk accumulation before a chunk can publish
+	DistributeSec float64 // origin → edge propagation
+	DeliverSec    float64 // client request + download of the first chunk
+	BufferSec     float64 // client startup buffer before playout
+}
+
+// Total returns the end-to-end latency.
+func (l LatencyBreakdown) Total() float64 {
+	return l.EncodeSec + l.PackageSec + l.DistributeSec + l.DeliverSec + l.BufferSec
+}
+
+// String itemizes the breakdown.
+func (l LatencyBreakdown) String() string {
+	return fmt.Sprintf("encode=%.1fs package=%.1fs distribute=%.1fs deliver=%.1fs buffer=%.1fs total=%.1fs",
+		l.EncodeSec, l.PackageSec, l.DistributeSec, l.DeliverSec, l.BufferSec, l.Total())
+}
+
+// Latency-model constants: encoder lookahead, origin→edge propagation,
+// and the CDN-packaging ingest hop.
+const (
+	encodeLookaheadSec  = 1.0
+	originToEdgeSec     = 0.5
+	cdnIngestSec        = 0.4 // extra hop when the CDN packages (mezzanine ingest)
+	deliverFractionOfRT = 0.8 // first chunk downloads slightly faster than real time
+)
+
+// GlassToGlass models a live stream's end-to-end latency for a chunked
+// HTTP protocol, given the packaging location and the client's startup
+// buffer in chunks. RTMP-style streaming would avoid the packaging and
+// buffer terms, which is the low-latency appeal §4.1 notes — and the
+// scalability trade-off that nonetheless pushed publishers to HTTP.
+func GlassToGlass(spec manifest.Spec, loc Location, startupChunks int, rttSec float64) (LatencyBreakdown, error) {
+	if !spec.Live {
+		return LatencyBreakdown{}, fmt.Errorf("packaging: glass-to-glass latency applies to live specs")
+	}
+	if err := spec.Validate(); err != nil {
+		return LatencyBreakdown{}, err
+	}
+	if startupChunks <= 0 {
+		startupChunks = 2
+	}
+	if rttSec < 0 {
+		rttSec = 0
+	}
+	l := LatencyBreakdown{
+		EncodeSec:     encodeLookaheadSec,
+		PackageSec:    spec.ChunkSec, // a chunk publishes only when complete
+		DistributeSec: originToEdgeSec,
+		DeliverSec:    rttSec + spec.ChunkSec*deliverFractionOfRT,
+		BufferSec:     float64(startupChunks-1) * spec.ChunkSec,
+	}
+	if loc == CDNHosted {
+		l.DistributeSec += cdnIngestSec
+	}
+	return l, nil
+}
+
+// RTMPGlassToGlass is the comparison point: a persistent-connection
+// streaming protocol with no chunk accumulation and a sub-second
+// client buffer.
+func RTMPGlassToGlass(rttSec float64) LatencyBreakdown {
+	if rttSec < 0 {
+		rttSec = 0
+	}
+	return LatencyBreakdown{
+		EncodeSec:     encodeLookaheadSec,
+		DistributeSec: originToEdgeSec,
+		DeliverSec:    rttSec,
+		BufferSec:     0.8,
+	}
+}

@@ -1,0 +1,103 @@
+package packaging
+
+import (
+	"strings"
+	"testing"
+
+	"vmp/internal/manifest"
+)
+
+func liveSpec(chunkSec float64) manifest.Spec {
+	return manifest.Spec{
+		VideoID:  "live1",
+		ChunkSec: chunkSec,
+		Live:     true,
+		Ladder:   GuidelineLadder(4000, 1.8),
+	}
+}
+
+func TestGlassToGlassRequiresLive(t *testing.T) {
+	spec := vodSpec()
+	if _, err := GlassToGlass(spec, SelfHosted, 2, 0.05); err == nil {
+		t.Fatal("VoD spec accepted")
+	}
+	bad := liveSpec(4)
+	bad.Ladder = nil
+	if _, err := GlassToGlass(bad, SelfHosted, 2, 0.05); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestGlassToGlassAddsAFewSeconds(t *testing.T) {
+	// §4.1: HTTP protocols "may add a few seconds of encoding and
+	// packaging delay to live streams" over RTMP.
+	l, err := GlassToGlass(liveSpec(4), SelfHosted, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtmp := RTMPGlassToGlass(0.05)
+	diff := l.Total() - rtmp.Total()
+	if diff < 2 || diff > 20 {
+		t.Fatalf("HTTP adds %.1fs over RTMP, want a few seconds", diff)
+	}
+	if l.Total() < 5 || l.Total() > 30 {
+		t.Fatalf("HTTP glass-to-glass = %.1fs, implausible", l.Total())
+	}
+	if rtmp.Total() > 3 {
+		t.Fatalf("RTMP glass-to-glass = %.1fs, should be low-latency", rtmp.Total())
+	}
+}
+
+func TestGlassToGlassScalesWithChunkDuration(t *testing.T) {
+	prev := 0.0
+	for _, chunk := range []float64{2, 4, 6, 10} {
+		l, err := GlassToGlass(liveSpec(chunk), SelfHosted, 3, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.Total() <= prev {
+			t.Fatalf("latency not increasing with chunk duration at %vs", chunk)
+		}
+		prev = l.Total()
+	}
+}
+
+func TestGlassToGlassCDNHostedCostsAnIngestHop(t *testing.T) {
+	self, err := GlassToGlass(liveSpec(4), SelfHosted, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdn, err := GlassToGlass(liveSpec(4), CDNHosted, 2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdn.Total() <= self.Total() {
+		t.Fatal("CDN-hosted packaging should add an ingest hop")
+	}
+	if cdn.Total()-self.Total() > 1 {
+		t.Fatal("ingest hop should be sub-second")
+	}
+}
+
+func TestGlassToGlassBufferTerm(t *testing.T) {
+	two, _ := GlassToGlass(liveSpec(4), SelfHosted, 2, 0)
+	four, _ := GlassToGlass(liveSpec(4), SelfHosted, 4, 0)
+	if four.BufferSec-two.BufferSec != 8 {
+		t.Fatalf("buffer delta = %v, want 2 chunks = 8s", four.BufferSec-two.BufferSec)
+	}
+	// Defaults clamp.
+	def, _ := GlassToGlass(liveSpec(4), SelfHosted, 0, -1)
+	if def.BufferSec != two.BufferSec || def.DeliverSec > two.DeliverSec {
+		t.Fatal("defaults not applied for non-positive startup/RTT")
+	}
+}
+
+func TestLatencyBreakdownString(t *testing.T) {
+	l, _ := GlassToGlass(liveSpec(4), SelfHosted, 2, 0.05)
+	s := l.String()
+	for _, want := range []string{"encode=", "package=", "total="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package packaging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+)
+
+func vodSpec() manifest.Spec {
+	return manifest.Spec{
+		VideoID:     "v1",
+		DurationSec: 600,
+		ChunkSec:    4,
+		AudioKbps:   96,
+		Ladder:      GuidelineLadder(4000, 1.8),
+	}
+}
+
+func TestGuidelineLadderFloor(t *testing.T) {
+	// HLS guidance: at least one bitrate under 192 Kbps.
+	for _, max := range []int{500, 2000, 8000, 20000} {
+		l := GuidelineLadder(max, 1.8)
+		if l.Min() > 192 {
+			t.Errorf("max=%d: ladder floor %d exceeds 192 Kbps", max, l.Min())
+		}
+		if l.Max() != max {
+			t.Errorf("max=%d: ladder top is %d", max, l.Max())
+		}
+	}
+}
+
+func TestGuidelineLadderSteps(t *testing.T) {
+	l := GuidelineLadder(8000, 1.7)
+	for i := 1; i < len(l); i++ {
+		ratio := float64(l[i].BitrateKbps) / float64(l[i-1].BitrateKbps)
+		// Successive bitrates within 1.5-2x, with slack for the final
+		// rung which is pinned to maxKbps and for rounding.
+		if ratio < 1.05 || ratio > 2.1 {
+			t.Errorf("rung %d/%d ratio %v outside guideline", l[i].BitrateKbps, l[i-1].BitrateKbps, ratio)
+		}
+	}
+}
+
+func TestGuidelineLadderClamps(t *testing.T) {
+	// Degenerate inputs must still produce a usable ladder.
+	l := GuidelineLadder(10, 0.5)
+	if len(l) == 0 || l.Max() < 150 {
+		t.Fatalf("clamped ladder unusable: %v", l)
+	}
+	l = GuidelineLadder(8000, 99)
+	for i := 1; i < len(l); i++ {
+		if float64(l[i].BitrateKbps)/float64(l[i-1].BitrateKbps) > 2.1 {
+			t.Fatal("step should clamp to 2")
+		}
+	}
+}
+
+func TestRenditionFor(t *testing.T) {
+	r := RenditionFor(250)
+	if r.Width != 416 || r.Height != 234 {
+		t.Errorf("250 Kbps -> %dx%d", r.Width, r.Height)
+	}
+	r = RenditionFor(4000)
+	if r.Height != 1080 {
+		t.Errorf("4000 Kbps -> height %d, want 1080", r.Height)
+	}
+	r = RenditionFor(50000)
+	if r.Height != 2160 {
+		t.Errorf("50 Mbps -> height %d, want 2160 (4K)", r.Height)
+	}
+	if r.BitrateKbps != 50000 {
+		t.Error("RenditionFor must preserve the bitrate")
+	}
+}
+
+func TestPerTitleLadderDeterminism(t *testing.T) {
+	s1 := dist.NewSource(5).Split("ladder")
+	s2 := dist.NewSource(5).Split("ladder")
+	l1 := PerTitleLadder(s1, 6000, 1.1)
+	l2 := PerTitleLadder(s2, 6000, 1.1)
+	if len(l1) != len(l2) {
+		t.Fatal("same seed produced different ladder sizes")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("same seed produced different ladders")
+		}
+	}
+}
+
+func TestPerTitleLadderVariesAcrossPublishers(t *testing.T) {
+	root := dist.NewSource(5)
+	a := PerTitleLadder(root.Split("pub-a"), 6000, 1)
+	b := PerTitleLadder(root.Split("pub-b"), 6000, 1)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i].BitrateKbps != b[i].BitrateKbps {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("independent publishers produced identical per-title ladders")
+	}
+}
+
+func TestPerTitleLadderComplexityClamp(t *testing.T) {
+	l := PerTitleLadder(dist.NewSource(1), 4000, -5)
+	if len(l) == 0 {
+		t.Fatal("non-positive complexity should clamp, not break")
+	}
+}
+
+func TestNewPackageValidates(t *testing.T) {
+	if _, err := NewPackage(manifest.Spec{}, manifest.HLS, false); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := NewPackage(vodSpec(), manifest.RTMP, false); err == nil {
+		t.Error("RTMP is not packageable")
+	}
+	if _, err := NewPackage(vodSpec(), manifest.HLS, true); err != nil {
+		t.Errorf("valid package rejected: %v", err)
+	}
+}
+
+func TestChunkBytes(t *testing.T) {
+	pkg, err := NewPackage(vodSpec(), manifest.DASH, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rendition 0 is the 150 Kbps floor: (150+96)Kbps * 4s / 8.
+	want := int64(246 * 1000 * 4 / 8)
+	if got := pkg.ChunkBytes(0); got != want {
+		t.Fatalf("ChunkBytes(0) = %d, want %d", got, want)
+	}
+}
+
+func TestStorageBytesMatchesPaperModel(t *testing.T) {
+	spec := manifest.Spec{
+		VideoID: "v", DurationSec: 100, ChunkSec: 4, AudioKbps: 0,
+		Ladder: manifest.Ladder{{BitrateKbps: 800}, {BitrateKbps: 1600}},
+	}
+	pkg, err := NewPackage(spec, manifest.HLS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (800 + 1600) Kbps * 100 s / 8 = 30 MB.
+	want := int64((800 + 1600) * 1000 * 100 / 8)
+	if got := pkg.StorageBytes(); got != want {
+		t.Fatalf("StorageBytes = %d, want %d", got, want)
+	}
+}
+
+func TestLiveStorageIsWindowed(t *testing.T) {
+	spec := vodSpec()
+	spec.Live = true
+	pkg, err := NewPackage(spec, manifest.HLS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vodPkg, _ := NewPackage(vodSpec(), manifest.HLS, false)
+	if pkg.StorageBytes() >= vodPkg.StorageBytes() {
+		t.Fatal("live storage should be bounded by the sliding window")
+	}
+}
+
+func TestJobCost(t *testing.T) {
+	pkg, err := NewPackage(vodSpec(), manifest.HLS, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := pkg.JobCost()
+	if c.CPUSeconds <= 0 || c.StorageBytes <= 0 || c.Objects <= 0 {
+		t.Fatalf("degenerate cost %+v", c)
+	}
+	if c.Objects != len(pkg.Spec.Ladder)*pkg.Spec.ChunkCount() {
+		t.Fatalf("Objects = %d, want renditions×chunks", c.Objects)
+	}
+	if c.LatencySec != pkg.Spec.ChunkSec {
+		t.Fatalf("LatencySec = %v, want one chunk duration", c.LatencySec)
+	}
+	drm, _ := NewPackage(vodSpec(), manifest.HLS, true)
+	if drm.JobCost().CPUSeconds <= c.CPUSeconds {
+		t.Fatal("DRM packaging should cost more CPU")
+	}
+}
+
+func TestPipelineCostScalesWithProtocols(t *testing.T) {
+	spec := vodSpec()
+	one, c1, err := Pipeline(spec, []manifest.Protocol{manifest.HLS}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, c3, err := Pipeline(spec, []manifest.Protocol{manifest.HLS, manifest.DASH, manifest.Smooth}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || len(three) != 3 {
+		t.Fatalf("package counts %d, %d", len(one), len(three))
+	}
+	// The §5 claim: packaging work is proportional to protocol count.
+	if c3.CPUSeconds < 2.9*c1.CPUSeconds || c3.CPUSeconds > 3.1*c1.CPUSeconds {
+		t.Fatalf("3-protocol CPU %v not ~3x 1-protocol %v", c3.CPUSeconds, c1.CPUSeconds)
+	}
+	if c3.StorageBytes != 3*c1.StorageBytes {
+		t.Fatalf("3-protocol storage %d != 3x %d", c3.StorageBytes, c1.StorageBytes)
+	}
+}
+
+func TestPipelineRejectsBadProtocol(t *testing.T) {
+	if _, _, err := Pipeline(vodSpec(), []manifest.Protocol{manifest.Unknown}, false); err == nil {
+		t.Fatal("Unknown protocol accepted")
+	}
+}
+
+func TestPackageManifestParses(t *testing.T) {
+	for _, proto := range manifest.HTTPProtocols {
+		pkg, err := NewPackage(vodSpec(), proto, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text, err := pkg.Manifest("http://cdn/pub")
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		url := manifest.ManifestURL(proto, "http://cdn/pub", pkg.Spec.VideoID)
+		if _, err := manifest.Parse(url, text); err != nil {
+			t.Fatalf("%v: generated manifest does not parse: %v", proto, err)
+		}
+	}
+}
+
+// Property: guideline ladders are strictly increasing and respect the
+// floor/ceiling invariants for any max bitrate and step.
+func TestGuidelineLadderProperty(t *testing.T) {
+	f := func(maxK uint16, stepHundredths uint8) bool {
+		max := int(maxK%20000) + 200
+		step := 1.5 + float64(stepHundredths%51)/100
+		l := GuidelineLadder(max, step)
+		if len(l) == 0 || l.Min() > 192 || l.Max() != max {
+			return false
+		}
+		for i := 1; i < len(l); i++ {
+			if l[i].BitrateKbps <= l[i-1].BitrateKbps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: storage is additive over the ladder.
+func TestStorageAdditiveProperty(t *testing.T) {
+	f := func(b1, b2 uint16, dur uint16) bool {
+		k1, k2 := int(b1%5000)+100, int(b2%5000)+100
+		d := float64(dur%3600) + 60
+		mk := func(ladder manifest.Ladder) int64 {
+			spec := manifest.Spec{VideoID: "v", DurationSec: d, ChunkSec: 4, Ladder: ladder}
+			pkg, err := NewPackage(spec, manifest.HLS, false)
+			if err != nil {
+				return -1
+			}
+			return pkg.StorageBytes()
+		}
+		both := mk(manifest.Ladder{{BitrateKbps: k1}, {BitrateKbps: k2}})
+		solo1 := mk(manifest.Ladder{{BitrateKbps: k1}})
+		solo2 := mk(manifest.Ladder{{BitrateKbps: k2}})
+		if both < 0 || solo1 < 0 || solo2 < 0 {
+			return false
+		}
+		diff := both - solo1 - solo2
+		return diff >= -2 && diff <= 2 // integer truncation slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

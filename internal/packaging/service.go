@@ -1,0 +1,90 @@
+package packaging
+
+import (
+	"fmt"
+
+	"vmp/internal/manifest"
+)
+
+// Location says where packaging runs (§2): publishers either push
+// packaged chunks to each CDN themselves, or push the mezzanine master
+// once and let a CDN packaging service encapsulate it on their behalf.
+type Location int
+
+// Packaging locations.
+const (
+	SelfHosted Location = iota
+	CDNHosted
+)
+
+// String names the location.
+func (l Location) String() string {
+	switch l {
+	case SelfHosted:
+		return "self-hosted"
+	case CDNHosted:
+		return "cdn-hosted"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// mezzanineKbps is the bitrate of the master ("mezzanine") copy a
+// publisher uploads when the CDN packages on its behalf — masters are
+// lightly compressed, well above the top delivery rung.
+const mezzanineKbps = 30000
+
+// cdnScaleFactor is the economy of scale a CDN packaging fleet enjoys
+// over a publisher's own encoders (§5: "packaging performed by CDNs
+// may offer better economies of scale, the associated overheads remain
+// irrespective of who does the packaging").
+const cdnScaleFactor = 0.8
+
+// Plan is the outcome of planning packaging for one title across a
+// publisher's protocols and CDNs: the packages produced, the resource
+// cost, who bears the compute, and what crosses the publisher→CDN
+// link.
+type Plan struct {
+	Location     Location
+	Packages     []*Package
+	Cost         Cost // total compute/storage regardless of payer
+	PublisherCPU float64
+	CDNCPU       float64
+	// UploadBytes is the publisher→CDN transfer: packaged chunks to
+	// every CDN when self-hosted, one mezzanine per CDN when
+	// CDN-hosted.
+	UploadBytes int64
+}
+
+// PlanPipeline packages spec for every protocol at the given location,
+// fanning out to cdnCount CDNs. It generalizes Pipeline with cost
+// attribution.
+func PlanPipeline(loc Location, spec manifest.Spec, protocols []manifest.Protocol, drm bool, cdnCount int) (*Plan, error) {
+	if cdnCount <= 0 {
+		return nil, fmt.Errorf("packaging: need at least one CDN, got %d", cdnCount)
+	}
+	pkgs, cost, err := Pipeline(spec, protocols, drm)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Location: loc, Packages: pkgs, Cost: cost}
+	dur := spec.DurationSec
+	if spec.Live {
+		dur = spec.ChunkSec * float64(spec.ChunkCount())
+	}
+	mezzanine := int64(mezzanineKbps * 1000 * dur / 8)
+	switch loc {
+	case SelfHosted:
+		plan.PublisherCPU = cost.CPUSeconds
+		// Every CDN receives the full packaged output.
+		plan.UploadBytes = cost.StorageBytes * int64(cdnCount)
+	case CDNHosted:
+		plan.CDNCPU = cost.CPUSeconds * cdnScaleFactor
+		plan.Cost.CPUSeconds = plan.CDNCPU
+		// One mezzanine upload per CDN; the CDN fans out internally.
+		plan.UploadBytes = mezzanine * int64(cdnCount)
+	default:
+		return nil, fmt.Errorf("packaging: unknown location %v", loc)
+	}
+	return plan, nil
+}

@@ -1,0 +1,114 @@
+package packaging
+
+import (
+	"testing"
+
+	"vmp/internal/manifest"
+)
+
+func TestLocationStrings(t *testing.T) {
+	if SelfHosted.String() != "self-hosted" || CDNHosted.String() != "cdn-hosted" {
+		t.Fatal("location names wrong")
+	}
+	if Location(7).String() != "Location(7)" {
+		t.Fatal("unknown location should format numerically")
+	}
+}
+
+func TestPlanPipelineSelfHosted(t *testing.T) {
+	spec := vodSpec()
+	protos := []manifest.Protocol{manifest.HLS, manifest.DASH}
+	plan, err := PlanPipeline(SelfHosted, spec, protos, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Packages) != 2 {
+		t.Fatalf("packages = %d", len(plan.Packages))
+	}
+	if plan.PublisherCPU <= 0 || plan.CDNCPU != 0 {
+		t.Fatalf("self-hosted CPU attribution wrong: pub=%v cdn=%v", plan.PublisherCPU, plan.CDNCPU)
+	}
+	// Upload = packaged bytes × CDN count.
+	if plan.UploadBytes != plan.Cost.StorageBytes*3 {
+		t.Fatalf("upload = %d, want storage×3", plan.UploadBytes)
+	}
+}
+
+func TestPlanPipelineCDNHosted(t *testing.T) {
+	// A large publisher's configuration: tall ladder, all four
+	// protocols — the regime where shipping one mezzanine per CDN
+	// beats shipping every packaged rendition.
+	spec := vodSpec()
+	spec.Ladder = GuidelineLadder(8000, 1.7)
+	protos := manifest.HTTPProtocols
+	self, err := PlanPipeline(SelfHosted, spec, protos, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdn, err := PlanPipeline(CDNHosted, spec, protos, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdn.PublisherCPU != 0 || cdn.CDNCPU <= 0 {
+		t.Fatalf("cdn-hosted CPU attribution wrong: %+v", cdn)
+	}
+	// Economy of scale: CDN fleet cheaper than publisher encoders.
+	if cdn.CDNCPU >= self.PublisherCPU {
+		t.Fatalf("CDN packaging CPU %v not below self-hosted %v", cdn.CDNCPU, self.PublisherCPU)
+	}
+	// With a multi-protocol ladder, shipping one mezzanine per CDN
+	// beats shipping all packaged renditions to every CDN.
+	if cdn.UploadBytes >= self.UploadBytes {
+		t.Fatalf("mezzanine upload %d not below packaged upload %d", cdn.UploadBytes, self.UploadBytes)
+	}
+}
+
+func TestPlanPipelineSingleProtocolUploadTradeoff(t *testing.T) {
+	// With one protocol and a short ladder, the packaged output can be
+	// smaller than the mezzanine — the trade-off §2 implies. Verify
+	// the model expresses both regimes.
+	spec := manifest.Spec{
+		VideoID: "v", DurationSec: 600, ChunkSec: 4, AudioKbps: 0,
+		Ladder: manifest.Ladder{{BitrateKbps: 400}},
+	}
+	self, err := PlanPipeline(SelfHosted, spec, []manifest.Protocol{manifest.HLS}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdn, err := PlanPipeline(CDNHosted, spec, []manifest.Protocol{manifest.HLS}, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.UploadBytes >= cdn.UploadBytes {
+		t.Fatalf("tiny ladder should upload less self-hosted (%d) than a mezzanine (%d)",
+			self.UploadBytes, cdn.UploadBytes)
+	}
+}
+
+func TestPlanPipelineValidation(t *testing.T) {
+	if _, err := PlanPipeline(SelfHosted, vodSpec(), []manifest.Protocol{manifest.HLS}, false, 0); err == nil {
+		t.Error("zero CDNs accepted")
+	}
+	if _, err := PlanPipeline(Location(9), vodSpec(), []manifest.Protocol{manifest.HLS}, false, 1); err == nil {
+		t.Error("unknown location accepted")
+	}
+	if _, err := PlanPipeline(SelfHosted, manifest.Spec{}, []manifest.Protocol{manifest.HLS}, false, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestPlanPipelineLiveWindow(t *testing.T) {
+	spec := vodSpec()
+	spec.Live = true
+	plan, err := PlanPipeline(CDNHosted, spec, []manifest.Protocol{manifest.HLS}, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vod, err := PlanPipeline(CDNHosted, vodSpec(), []manifest.Protocol{manifest.HLS}, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UploadBytes >= vod.UploadBytes {
+		t.Fatal("live mezzanine should be windowed, not full-duration")
+	}
+}

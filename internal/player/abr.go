@@ -1,0 +1,134 @@
+// Package player implements chunked adaptive streaming playback: the
+// client half of the video data and control planes (§2). A session
+// fetches a manifest, runs a bitrate-adaptation loop over simulated
+// network paths and CDN edges, and measures what the paper's telemetry
+// measures — viewing time, average bitrate, and rebuffering — so that
+// the syndication performance comparisons (Figs 15 and 16) emerge from
+// actual playback rather than assumed numbers.
+package player
+
+import (
+	"fmt"
+
+	"vmp/internal/manifest"
+)
+
+// State is the control-plane input to a bitrate decision.
+type State struct {
+	BufferSec      float64 // seconds of media buffered ahead of playhead
+	ThroughputKbps float64 // smoothed recent download throughput; 0 before first chunk
+	ChunkSec       float64 // chunk duration of the stream
+}
+
+// ABR is a bitrate-adaptation algorithm: given the ladder and the
+// current state, it returns the rendition index to fetch next. §2 notes
+// SDKs ship adaptation logic; the paper cites buffer-based and
+// rate-based designs (BBA, FESTIVE, MPC, Pensieve).
+type ABR interface {
+	Name() string
+	Choose(ladder manifest.Ladder, s State) int
+}
+
+// RateBased selects the highest bitrate sustainable at a safety factor
+// of the measured throughput — the classic throughput-rule ABR.
+type RateBased struct {
+	// Safety discounts measured throughput; 0 defaults to 0.8.
+	Safety float64
+}
+
+// Name implements ABR.
+func (RateBased) Name() string { return "rate" }
+
+// Choose implements ABR.
+func (r RateBased) Choose(ladder manifest.Ladder, s State) int {
+	safety := r.Safety
+	if safety <= 0 || safety > 1 {
+		safety = 0.8
+	}
+	if s.ThroughputKbps <= 0 {
+		return 0 // start conservative
+	}
+	budget := s.ThroughputKbps * safety
+	best := 0
+	for i, rend := range ladder {
+		if float64(rend.BitrateKbps) <= budget {
+			best = i
+		}
+	}
+	return best
+}
+
+// BufferBased implements a BBA-style map from buffer occupancy to
+// bitrate (Huang et al., SIGCOMM'14): below Reservoir play the lowest
+// rung, above Cushion the highest, and interpolate linearly in between.
+type BufferBased struct {
+	// ReservoirSec and CushionSec bound the linear region. Zero values
+	// default to 5s and 30s.
+	ReservoirSec float64
+	CushionSec   float64
+}
+
+// Name implements ABR.
+func (BufferBased) Name() string { return "buffer" }
+
+// Choose implements ABR.
+func (b BufferBased) Choose(ladder manifest.Ladder, s State) int {
+	reservoir, cushion := b.ReservoirSec, b.CushionSec
+	if reservoir <= 0 {
+		reservoir = 5
+	}
+	if cushion <= reservoir {
+		cushion = reservoir + 25
+	}
+	switch {
+	case s.BufferSec <= reservoir:
+		return 0
+	case s.BufferSec >= cushion:
+		return len(ladder) - 1
+	default:
+		frac := (s.BufferSec - reservoir) / (cushion - reservoir)
+		idx := int(frac * float64(len(ladder)-1))
+		if idx >= len(ladder) {
+			idx = len(ladder) - 1
+		}
+		return idx
+	}
+}
+
+// Fixed always plays one rendition — the degenerate policy used by
+// legacy players and as an ablation baseline.
+type Fixed struct {
+	Rendition int
+}
+
+// Name implements ABR.
+func (Fixed) Name() string { return "fixed" }
+
+// Choose implements ABR.
+func (f Fixed) Choose(ladder manifest.Ladder, s State) int {
+	if f.Rendition < 0 {
+		return 0
+	}
+	if f.Rendition >= len(ladder) {
+		return len(ladder) - 1
+	}
+	return f.Rendition
+}
+
+// ByName returns the ABR algorithm with the given name, defaulting all
+// tuning parameters. Recognized names: "rate", "buffer", "bola",
+// "fixed".
+func ByName(name string) (ABR, error) {
+	switch name {
+	case "rate":
+		return RateBased{}, nil
+	case "buffer":
+		return BufferBased{}, nil
+	case "bola":
+		return BOLA{}, nil
+	case "fixed":
+		return Fixed{}, nil
+	default:
+		return nil, fmt.Errorf("player: unknown ABR %q", name)
+	}
+}

@@ -1,0 +1,84 @@
+package player
+
+import (
+	"math"
+
+	"vmp/internal/manifest"
+)
+
+// BOLA is the Lyapunov-optimization ABR of Spiteri, Urgaonkar and
+// Sitaraman ("BOLA: Near-Optimal Bitrate Adaptation for Online
+// Videos", INFOCOM 2016), one of the control-plane innovations the
+// paper cites publishers adopting (§1, §2). This is BOLA-BASIC: at
+// each step it picks the rendition m maximizing
+//
+//	(V·(υ_m + γp) − Q) / S_m
+//
+// where υ_m = ln(S_m/S_min) is the utility of rendition m, S_m its
+// chunk size, Q the buffer level in chunk units, p the chunk duration,
+// and V, γp are derived from the configured buffer target so that the
+// maximum buffer maps onto the top rendition.
+type BOLA struct {
+	// BufferTargetSec is the buffer level at which BOLA is willing to
+	// stream the top rendition; zero defaults to 25s.
+	BufferTargetSec float64
+	// MinBufferSec is the level below which the lowest rendition is
+	// forced; zero defaults to 3s.
+	MinBufferSec float64
+}
+
+// Name implements ABR.
+func (BOLA) Name() string { return "bola" }
+
+// Choose implements ABR.
+func (b BOLA) Choose(ladder manifest.Ladder, s State) int {
+	if len(ladder) == 1 {
+		return 0
+	}
+	target := b.BufferTargetSec
+	if target <= 0 {
+		target = 25
+	}
+	minBuf := b.MinBufferSec
+	if minBuf <= 0 {
+		minBuf = 3
+	}
+	if target <= minBuf {
+		target = minBuf + 10
+	}
+	chunkSec := s.ChunkSec
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+
+	// Sizes and utilities; sizes in arbitrary units proportional to
+	// bitrate (chunk duration cancels in the objective's ordering).
+	minKbps := float64(ladder.Min())
+	utilTop := math.Log(float64(ladder.Max()) / minKbps)
+
+	// Derive V and γp from the buffer bounds (BOLA §IV): the buffer
+	// level at which rendition m's score crosses zero is V·(υ_m + γp);
+	// pinning that level to minBuf for the bottom rung (υ = 0) and to
+	// the target for the top rung gives:
+	qLow := minBuf / chunkSec
+	qHigh := target / chunkSec
+	v := (qHigh - qLow) / utilTop
+	gp := qLow / v
+
+	q := s.BufferSec / chunkSec
+	best, bestScore := 0, math.Inf(-1)
+	for m, r := range ladder {
+		size := float64(r.BitrateKbps)
+		util := math.Log(size / minKbps)
+		score := (v*(util+gp) - q) / size * minKbps // normalize by S_min for stability
+		if score > bestScore {
+			best, bestScore = m, score
+		}
+	}
+	// Safety interlock: never pick above the lowest rung on a nearly
+	// empty buffer.
+	if s.BufferSec <= minBuf {
+		return 0
+	}
+	return best
+}

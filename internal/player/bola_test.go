@@ -1,0 +1,216 @@
+package player
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+	"vmp/internal/packaging"
+)
+
+func TestBOLAMonotoneInBuffer(t *testing.T) {
+	ladder := packaging.GuidelineLadder(8000, 1.8)
+	b := BOLA{}
+	prev := -1
+	for buf := 0.0; buf <= 40; buf += 0.5 {
+		got := b.Choose(ladder, State{BufferSec: buf, ChunkSec: 4})
+		if got < prev {
+			t.Fatalf("BOLA not monotone: rendition %d at %.1fs after %d", got, buf, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBOLABoundaries(t *testing.T) {
+	ladder := packaging.GuidelineLadder(8000, 1.8)
+	b := BOLA{BufferTargetSec: 25, MinBufferSec: 3}
+	if got := b.Choose(ladder, State{BufferSec: 0, ChunkSec: 4}); got != 0 {
+		t.Errorf("empty buffer picked rung %d", got)
+	}
+	if got := b.Choose(ladder, State{BufferSec: 2.5, ChunkSec: 4}); got != 0 {
+		t.Errorf("below MinBuffer picked rung %d", got)
+	}
+	if got := b.Choose(ladder, State{BufferSec: 60, ChunkSec: 4}); got != len(ladder)-1 {
+		t.Errorf("saturated buffer picked rung %d, want top", got)
+	}
+}
+
+func TestBOLASingleRendition(t *testing.T) {
+	ladder := manifest.Ladder{{BitrateKbps: 800}}
+	if got := (BOLA{}).Choose(ladder, State{BufferSec: 10, ChunkSec: 4}); got != 0 {
+		t.Fatalf("single-rung ladder picked %d", got)
+	}
+}
+
+func TestBOLADegenerateParams(t *testing.T) {
+	ladder := packaging.GuidelineLadder(4000, 1.8)
+	// Target below minimum must self-correct rather than divide by zero.
+	b := BOLA{BufferTargetSec: 1, MinBufferSec: 5}
+	if got := b.Choose(ladder, State{BufferSec: 50, ChunkSec: 4}); got != len(ladder)-1 {
+		t.Fatalf("degenerate params broke saturation: %d", got)
+	}
+	// Zero chunk duration defaults sanely.
+	if got := b.Choose(ladder, State{BufferSec: 50}); got < 0 || got >= len(ladder) {
+		t.Fatalf("zero ChunkSec produced invalid rung %d", got)
+	}
+}
+
+// Property: BOLA always returns a valid index.
+func TestBOLAValidIndexProperty(t *testing.T) {
+	f := func(buf uint16, target uint8, rungs uint8) bool {
+		n := int(rungs%12) + 1
+		var ladder manifest.Ladder
+		for i := 0; i < n; i++ {
+			ladder = append(ladder, manifest.Rendition{BitrateKbps: 200 * (i + 1)})
+		}
+		b := BOLA{BufferTargetSec: float64(target % 60), MinBufferSec: 2}
+		got := b.Choose(ladder, State{BufferSec: float64(buf % 120), ChunkSec: 4})
+		return got >= 0 && got < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBOLAPlaysEndToEnd(t *testing.T) {
+	m := testManifest(t, false)
+	res, err := Play(Config{Manifest: m, ABR: BOLA{}, Trace: fastTrace(77), WatchSec: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlayedSec < 350 {
+		t.Fatalf("BOLA session played only %v", res.PlayedSec)
+	}
+	if res.AvgBitrateKbps < 1000 {
+		t.Fatalf("BOLA on a fast path averaged %v Kbps", res.AvgBitrateKbps)
+	}
+}
+
+func TestByNameBOLA(t *testing.T) {
+	abr, err := ByName("bola")
+	if err != nil || abr.Name() != "bola" {
+		t.Fatalf("ByName(bola) = %v, %v", abr, err)
+	}
+}
+
+func TestAnycastRouteFlips(t *testing.T) {
+	m := testManifest(t, false)
+	anycast := cdnsim.NewCDN("B", true, true, 8<<30)
+	unicast := cdnsim.NewCDN("A", false, true, 8<<30)
+
+	play := func(cdn *cdnsim.CDN, flipSrc *dist.Source, prob float64) Result {
+		res, err := Play(Config{
+			Manifest:          m,
+			ABR:               Fixed{Rendition: 2},
+			Trace:             fastTrace(5),
+			CDN:               cdn,
+			ISP:               "ISP-X",
+			WatchSec:          600,
+			RouteFlipSrc:      flipSrc,
+			RouteFlipPerChunk: prob,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// High flip probability on an anycast CDN: flips must occur and
+	// cost time.
+	flipped := play(anycast, dist.NewSource(3), 0.5)
+	if flipped.RouteFlips == 0 {
+		t.Fatal("no route flips at 50% per-chunk probability")
+	}
+	// Unicast CDN: the model must not engage.
+	clean := play(unicast, dist.NewSource(3), 0.5)
+	if clean.RouteFlips != 0 {
+		t.Fatal("route flips on a unicast CDN")
+	}
+	// Nil source disables the model even on anycast.
+	off := play(anycast, nil, 0.5)
+	if off.RouteFlips != 0 {
+		t.Fatal("route flips with a nil source")
+	}
+}
+
+// TestAnycastNotBlocking reproduces the §4.3 observation: at realistic
+// flip rates, anycast instability is not a blocking factor for video —
+// rebuffering stays near the unicast level.
+func TestAnycastNotBlocking(t *testing.T) {
+	m := testManifest(t, false)
+	anycast := cdnsim.NewCDN("B", true, true, 8<<30)
+	prof := netmodel.Profile{MeanKbps: 9000, Sigma: 0.4, Rho: 0.85, RTTms: 25}
+	var withFlips, without float64
+	const sessions = 40
+	for i := 0; i < sessions; i++ {
+		res, err := Play(Config{
+			Manifest: m, ABR: BufferBased{},
+			Trace: prof.NewTrace(dist.NewSource(uint64(i + 1))),
+			CDN:   anycast, ISP: "ISP-X", WatchSec: 900,
+			RouteFlipSrc: dist.NewSource(uint64(1000 + i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withFlips += res.RebufferRatio()
+		res2, err := Play(Config{
+			Manifest: m, ABR: BufferBased{},
+			Trace: prof.NewTrace(dist.NewSource(uint64(i + 1))),
+			CDN:   anycast, ISP: "ISP-X", WatchSec: 900,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without += res2.RebufferRatio()
+	}
+	withFlips /= sessions
+	without /= sessions
+	if withFlips > without+0.01 {
+		t.Fatalf("anycast flips raised mean rebuffering from %.4f to %.4f — should be negligible",
+			without, withFlips)
+	}
+}
+
+func TestByteRangePlayback(t *testing.T) {
+	spec := &manifest.Spec{
+		VideoID:     "br1",
+		DurationSec: 800,
+		ChunkSec:    4,
+		AudioKbps:   96,
+		Ladder:      packaging.GuidelineLadder(4000, 1.8),
+		ByteRange:   true,
+	}
+	text, err := manifest.Generate(manifest.HLS, spec, "http://cdn-a/pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := manifest.Parse("http://cdn-a/pub/br1.m3u8", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdn := cdnsim.NewCDN("A", false, true, 8<<30)
+	cfg := Config{Manifest: m, ABR: Fixed{Rendition: 1}, Trace: fastTrace(8),
+		CDN: cdn, ISP: "ISP-X", WatchSec: 200}
+	first, err := Play(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlayedSec < 150 {
+		t.Fatalf("byte-range session played %v", first.PlayedSec)
+	}
+	if first.EdgeHits != 0 {
+		t.Fatal("cold cache should not hit")
+	}
+	// Replay must hit the per-range cache entries.
+	cfg.Trace = fastTrace(9)
+	second, err := Play(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.EdgeHits == 0 {
+		t.Fatal("byte-range chunks did not cache per range")
+	}
+}

@@ -1,0 +1,51 @@
+package player
+
+import (
+	"testing"
+	"time"
+
+	"vmp/internal/device"
+	"vmp/internal/dist"
+	"vmp/internal/drm"
+)
+
+// TestProtectedSessionStartup drives the DRM → player integration: a
+// protected session acquires a license from the key server and pays
+// the exchange latency at startup.
+func TestProtectedSessionStartup(t *testing.T) {
+	m := testManifest(t, false)
+	ks, err := drm.NewKeyServer(dist.NewSource(1), 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := device.ByName("AndroidPhone")
+	lic, latency, err := ks.Issue(drm.Request{
+		ContentID: m.VideoID,
+		Device:    dev,
+		System:    drm.Widevine,
+		Now:       time.Date(2018, 3, 1, 0, 0, 0, 0, time.UTC),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lic.Valid(time.Date(2018, 3, 1, 0, 30, 0, 0, time.UTC)) {
+		t.Fatal("license invalid immediately after issue")
+	}
+
+	clear, err := Play(Config{Manifest: m, Trace: fastTrace(41), WatchSec: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := Play(Config{Manifest: m, Trace: fastTrace(41), WatchSec: 120,
+		LicenseSec: latency.Seconds()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := protected.StartupSec - clear.StartupSec
+	if delta < 0.02 || delta > 0.09 {
+		t.Fatalf("license added %.3fs to startup, want the 30-80ms exchange", delta)
+	}
+	if protected.PlayedSec != clear.PlayedSec {
+		t.Fatal("license exchange should not change playback itself")
+	}
+}

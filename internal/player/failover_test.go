@@ -1,0 +1,111 @@
+package player
+
+import (
+	"testing"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/dist"
+	"vmp/internal/netmodel"
+)
+
+func TestMidstreamCDNSwitch(t *testing.T) {
+	m := testManifest(t, false)
+	primary := cdnsim.NewCDN("A", false, true, 8<<30)
+	fallback := cdnsim.NewCDN("B", false, true, 8<<30)
+	// A badly degraded primary path and a healthy fallback.
+	badPath := netmodel.Profile{MeanKbps: 250, Sigma: 0.4, Rho: 0.85, RTTms: 80}
+	goodPath := netmodel.Profile{MeanKbps: 15000, Sigma: 0.2, Rho: 0.8, RTTms: 20}
+
+	res, err := Play(Config{
+		Manifest:      m,
+		ABR:           Fixed{Rendition: 3}, // forces stalls on the bad path
+		Trace:         badPath.NewTrace(dist.NewSource(1)),
+		CDN:           primary,
+		ISP:           "ISP-X",
+		WatchSec:      600,
+		Fallback:      fallback,
+		FallbackTrace: goodPath.NewTrace(dist.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDNsUsed) != 2 || res.CDNsUsed[0] != "A" || res.CDNsUsed[1] != "B" {
+		t.Fatalf("CDNsUsed = %v, want [A B]", res.CDNsUsed)
+	}
+	if res.RebufferSec <= 0 {
+		t.Fatal("switch should have been triggered by stalls")
+	}
+	// After failing over, the session must complete healthily.
+	if res.PlayedSec < 550 {
+		t.Fatalf("played only %v after failover", res.PlayedSec)
+	}
+}
+
+func TestNoSwitchWhenHealthy(t *testing.T) {
+	m := testManifest(t, false)
+	primary := cdnsim.NewCDN("A", false, true, 8<<30)
+	fallback := cdnsim.NewCDN("B", false, true, 8<<30)
+	good := netmodel.Profile{MeanKbps: 15000, Sigma: 0.2, Rho: 0.8, RTTms: 20}
+	res, err := Play(Config{
+		Manifest:      m,
+		ABR:           BufferBased{},
+		Trace:         good.NewTrace(dist.NewSource(3)),
+		CDN:           primary,
+		ISP:           "ISP-X",
+		WatchSec:      400,
+		Fallback:      fallback,
+		FallbackTrace: good.NewTrace(dist.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDNsUsed) != 1 || res.CDNsUsed[0] != "A" {
+		t.Fatalf("healthy session switched CDNs: %v", res.CDNsUsed)
+	}
+}
+
+func TestNoSwitchWithoutFallback(t *testing.T) {
+	m := testManifest(t, false)
+	primary := cdnsim.NewCDN("A", false, true, 8<<30)
+	bad := netmodel.Profile{MeanKbps: 250, Sigma: 0.4, Rho: 0.85, RTTms: 80}
+	res, err := Play(Config{
+		Manifest: m,
+		ABR:      Fixed{Rendition: 3},
+		Trace:    bad.NewTrace(dist.NewSource(5)),
+		CDN:      primary,
+		ISP:      "ISP-X",
+		WatchSec: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDNsUsed) != 1 {
+		t.Fatalf("session without fallback used %v", res.CDNsUsed)
+	}
+}
+
+func TestSwitchThresholdConfigurable(t *testing.T) {
+	m := testManifest(t, false)
+	primary := cdnsim.NewCDN("A", false, true, 8<<30)
+	fallback := cdnsim.NewCDN("B", false, true, 8<<30)
+	bad := netmodel.Profile{MeanKbps: 250, Sigma: 0.4, Rho: 0.85, RTTms: 80}
+	good := netmodel.Profile{MeanKbps: 15000, Sigma: 0.2, Rho: 0.8, RTTms: 20}
+	// With a very high threshold the session never switches.
+	res, err := Play(Config{
+		Manifest:          m,
+		ABR:               Fixed{Rendition: 3},
+		Trace:             bad.NewTrace(dist.NewSource(6)),
+		CDN:               primary,
+		ISP:               "ISP-X",
+		WatchSec:          200,
+		Fallback:          fallback,
+		FallbackTrace:     good.NewTrace(dist.NewSource(7)),
+		SwitchAfterStalls: 10_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDNsUsed) != 1 {
+		t.Fatalf("high threshold still switched: %v", res.CDNsUsed)
+	}
+}

@@ -1,0 +1,246 @@
+package player
+
+import (
+	"math"
+	"sort"
+
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+)
+
+// Oboe-style ABR auto-tuning (Akhtar et al., SIGCOMM 2018 — reference
+// [48] of the paper, by the same authors): instead of one fixed ABR
+// configuration for every session, precompute offline the best
+// buffer-based parameters for a grid of network states, then pick the
+// configuration matching each session's observed throughput statistics.
+// §1 motivates studying the management plane partly by "the effort
+// needed to incorporate control plane innovations such as new bitrate
+// selection algorithms" — this file is one such innovation layered on
+// the substrate.
+
+// NetState characterizes a network path for tuning purposes.
+type NetState struct {
+	MeanKbps float64
+	CV       float64 // coefficient of variation of chunk throughput
+}
+
+// OboeTable maps network states to the best buffer-based configuration
+// found offline for each.
+type OboeTable struct {
+	states []NetState
+	cfgs   []BufferBased
+}
+
+// candidate configurations explored per state.
+var oboeCandidates = []BufferBased{
+	{ReservoirSec: 2, CushionSec: 15},
+	{ReservoirSec: 5, CushionSec: 25},
+	{ReservoirSec: 5, CushionSec: 40},
+	{ReservoirSec: 10, CushionSec: 30},
+	{ReservoirSec: 12, CushionSec: 50},
+}
+
+// oboeGrid is the offline state grid.
+var oboeGrid = []NetState{
+	{1200, 0.25}, {1200, 0.7},
+	{3000, 0.25}, {3000, 0.7},
+	{7000, 0.25}, {7000, 0.7},
+	{16000, 0.25}, {16000, 0.7},
+}
+
+// rebufPenaltyKbps converts rebuffering ratio into bitrate-equivalent
+// loss in the tuning objective: one percent of stall costs as much as
+// 250 Kbps of average bitrate. QoE studies (Dobrian et al., SIGCOMM'11,
+// the paper's reference [57]) find rebuffering dominates engagement, so
+// the objective weights it heavily.
+const rebufPenaltyKbps = 25000
+
+// BuildOboeTable runs the offline tuning stage: for every grid state,
+// simulate candidate configurations over synthetic paths with that
+// state's statistics and keep the configuration maximizing
+// avgBitrate − penalty × rebufferRatio. Deterministic in src.
+func BuildOboeTable(ladder manifest.Ladder, chunkSec float64, src *dist.Source) (*OboeTable, error) {
+	spec := &manifest.Spec{
+		VideoID:     "oboe-cal",
+		DurationSec: 1200,
+		ChunkSec:    chunkSec,
+		AudioKbps:   96,
+		Ladder:      ladder,
+	}
+	text, err := manifest.Generate(manifest.HLS, spec, "http://oboe.local/cal")
+	if err != nil {
+		return nil, err
+	}
+	m, err := manifest.Parse("http://oboe.local/cal/oboe-cal.m3u8", text)
+	if err != nil {
+		return nil, err
+	}
+	table := &OboeTable{}
+	const sessionsPerCandidate = 12
+	for si, state := range oboeGrid {
+		sigma := math.Sqrt(math.Log(1 + state.CV*state.CV))
+		profile := netmodel.Profile{MeanKbps: state.MeanKbps, Sigma: sigma, Rho: 0.85, RTTms: 30}
+		best, bestScore := oboeCandidates[0], math.Inf(-1)
+		for ci, cand := range oboeCandidates {
+			var bitrates, rebufs []float64
+			for k := 0; k < sessionsPerCandidate; k++ {
+				res, err := Play(Config{
+					Manifest: m,
+					ABR:      cand,
+					Trace:    profile.NewTrace(src.Splitf("cal", si*1000+ci*100+k)),
+					WatchSec: 600,
+				})
+				if err != nil {
+					return nil, err
+				}
+				bitrates = append(bitrates, res.AvgBitrateKbps)
+				rebufs = append(rebufs, res.RebufferRatio())
+			}
+			// Tail-sensitive objective: mean bitrate minus a heavy
+			// penalty on the worst-decile rebuffering — stalls, not
+			// averages, are what drive viewers away.
+			sort.Float64s(rebufs)
+			p90 := rebufs[(len(rebufs)*9)/10]
+			score := mean(bitrates) - rebufPenaltyKbps*p90
+			if score > bestScore {
+				best, bestScore = cand, score
+			}
+		}
+		table.states = append(table.states, state)
+		table.cfgs = append(table.cfgs, best)
+	}
+	return table, nil
+}
+
+// Lookup returns the tuned configuration for the estimated state:
+// nearest grid mean on a log scale, with the CV rounded *up* to the
+// next grid level. Probe-based CV estimates are noisy and
+// underestimating variability is the expensive direction (it selects
+// aggressive configurations that stall on volatile paths), so the
+// lookup is deliberately conservative.
+func (t *OboeTable) Lookup(state NetState) BufferBased {
+	if len(t.states) == 0 {
+		return BufferBased{}
+	}
+	// Round CV up to the smallest grid CV >= estimate (or the grid max).
+	cvLevel := math.Inf(1)
+	maxCV := 0.0
+	for _, s := range t.states {
+		if s.CV > maxCV {
+			maxCV = s.CV
+		}
+		if s.CV >= state.CV && s.CV < cvLevel {
+			cvLevel = s.CV
+		}
+	}
+	if math.IsInf(cvLevel, 1) {
+		cvLevel = maxCV
+	}
+	bestIdx, bestDist := -1, math.Inf(1)
+	for i, s := range t.states {
+		if s.CV != cvLevel {
+			continue
+		}
+		d := math.Abs(math.Log(maxPos(state.MeanKbps)) - math.Log(maxPos(s.MeanKbps)))
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	if bestIdx < 0 {
+		bestIdx = 0
+	}
+	return t.cfgs[bestIdx]
+}
+
+// States returns the table's grid, for inspection.
+func (t *OboeTable) States() []NetState { return append([]NetState(nil), t.states...) }
+
+// Config returns the tuned configuration for grid entry i.
+func (t *OboeTable) Config(i int) BufferBased { return t.cfgs[i] }
+
+func maxPos(x float64) float64 {
+	if x <= 1 {
+		return 1
+	}
+	return x
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// AutoTuned is the per-session online half of Oboe: it probes the path
+// for the first ProbeChunks chunks with a conservative configuration,
+// estimates the session's network state from the observed throughput,
+// and then runs the offline-tuned configuration for that state.
+//
+// AutoTuned is stateful: use a fresh instance per playback session.
+type AutoTuned struct {
+	Table *OboeTable
+	// ProbeChunks is the probe length; zero defaults to 5.
+	ProbeChunks int
+
+	samples []float64
+	tuned   *BufferBased
+}
+
+// Name implements ABR.
+func (*AutoTuned) Name() string { return "oboe" }
+
+// Choose implements ABR.
+func (a *AutoTuned) Choose(ladder manifest.Ladder, s State) int {
+	probe := a.ProbeChunks
+	if probe <= 0 {
+		probe = 12
+	}
+	if a.tuned == nil {
+		if s.ThroughputKbps > 0 {
+			a.samples = append(a.samples, s.ThroughputKbps)
+		}
+		if len(a.samples) < probe {
+			// Conservative probe configuration.
+			return BufferBased{ReservoirSec: 8, CushionSec: 30}.Choose(ladder, s)
+		}
+		mean := 0.0
+		for _, x := range a.samples {
+			mean += x
+		}
+		mean /= float64(len(a.samples))
+		variance := 0.0
+		for _, x := range a.samples {
+			variance += (x - mean) * (x - mean)
+		}
+		variance /= float64(len(a.samples))
+		cv := 0.0
+		if mean > 0 {
+			cv = math.Sqrt(variance) / mean
+		}
+		// The probe observes the player's EWMA-smoothed throughput,
+		// which shrinks variance by roughly (1-α)/(1+α); undo the
+		// shrinkage so the state lookup sees path-level variability.
+		cv *= math.Sqrt((1 + throughputEWMA) / (1 - throughputEWMA))
+		cfg := BufferBased{}
+		if a.Table != nil {
+			cfg = a.Table.Lookup(NetState{MeanKbps: mean, CV: cv})
+		}
+		a.tuned = &cfg
+	}
+	return a.tuned.Choose(ladder, s)
+}
+
+// TunedConfig returns the configuration the session locked onto, or
+// false while still probing.
+func (a *AutoTuned) TunedConfig() (BufferBased, bool) {
+	if a.tuned == nil {
+		return BufferBased{}, false
+	}
+	return *a.tuned, true
+}

@@ -1,0 +1,156 @@
+package player
+
+import (
+	"testing"
+
+	"vmp/internal/dist"
+	"vmp/internal/netmodel"
+	"vmp/internal/packaging"
+)
+
+// oboeTable is built once per test binary: the offline stage is the
+// expensive part.
+var oboeTableCache *OboeTable
+
+func oboeTable(t *testing.T) *OboeTable {
+	t.Helper()
+	if oboeTableCache == nil {
+		var err error
+		oboeTableCache, err = BuildOboeTable(packaging.GuidelineLadder(8000, 1.8), 4, dist.NewSource(2024))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return oboeTableCache
+}
+
+func TestBuildOboeTableShape(t *testing.T) {
+	table := oboeTable(t)
+	states := table.States()
+	if len(states) != len(oboeGrid) {
+		t.Fatalf("table has %d states, want %d", len(states), len(oboeGrid))
+	}
+	// The offline stage must actually discriminate: not every state
+	// should land on the same configuration.
+	distinct := map[BufferBased]bool{}
+	for i := range states {
+		distinct[table.Config(i)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("tuning found only %d distinct configs — no discrimination", len(distinct))
+	}
+}
+
+func TestOboeLookupNearest(t *testing.T) {
+	table := oboeTable(t)
+	// Exact grid states return their own configs.
+	for i, s := range table.States() {
+		if got := table.Lookup(s); got != table.Config(i) {
+			t.Fatalf("Lookup(%+v) = %+v, want grid config %+v", s, got, table.Config(i))
+		}
+	}
+	// Off-grid states return something from the table.
+	got := table.Lookup(NetState{MeanKbps: 4200, CV: 0.4})
+	found := false
+	for i := range table.States() {
+		if table.Config(i) == got {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Lookup fabricated a config not in the table")
+	}
+	// Degenerate inputs.
+	if (&OboeTable{}).Lookup(NetState{}) != (BufferBased{}) {
+		t.Fatal("empty table should return the zero config")
+	}
+	table.Lookup(NetState{MeanKbps: -5, CV: 0}) // must not panic on log(≤0)
+}
+
+func TestAutoTunedLocksAfterProbe(t *testing.T) {
+	table := oboeTable(t)
+	abr := &AutoTuned{Table: table, ProbeChunks: 3}
+	ladder := packaging.GuidelineLadder(8000, 1.8)
+	if _, ok := abr.TunedConfig(); ok {
+		t.Fatal("tuned before any chunk")
+	}
+	for i := 0; i < 4; i++ {
+		idx := abr.Choose(ladder, State{BufferSec: 10, ThroughputKbps: 5000, ChunkSec: 4})
+		if idx < 0 || idx >= len(ladder) {
+			t.Fatalf("invalid rendition %d", idx)
+		}
+	}
+	cfg, ok := abr.TunedConfig()
+	if !ok {
+		t.Fatal("not tuned after probe window")
+	}
+	if cfg.CushionSec <= 0 {
+		t.Fatalf("degenerate tuned config %+v", cfg)
+	}
+}
+
+func TestAutoTunedPlaysEndToEnd(t *testing.T) {
+	table := oboeTable(t)
+	m := testManifest(t, false)
+	res, err := Play(Config{
+		Manifest: m,
+		ABR:      &AutoTuned{Table: table},
+		Trace:    fastTrace(91),
+		WatchSec: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlayedSec < 350 || res.AvgBitrateKbps < 1000 {
+		t.Fatalf("auto-tuned session degenerate: %+v", res)
+	}
+}
+
+// TestAutoTunedCompetitive: across heterogeneous paths, the tuned ABR
+// must not lose badly to the one-size default on the combined
+// bitrate/rebuffering objective — the Oboe premise.
+func TestAutoTunedCompetitive(t *testing.T) {
+	table := oboeTable(t)
+	m := testManifest(t, false)
+	profiles := []netmodel.Profile{
+		{MeanKbps: 1500, Sigma: 0.65, Rho: 0.85, RTTms: 50},
+		{MeanKbps: 7000, Sigma: 0.25, Rho: 0.85, RTTms: 25},
+		{MeanKbps: 16000, Sigma: 0.65, Rho: 0.85, RTTms: 15},
+	}
+	score := func(abrFor func() ABR, seedBase uint64) float64 {
+		total := 0.0
+		for pi, prof := range profiles {
+			for k := 0; k < 6; k++ {
+				res, err := Play(Config{
+					Manifest: m,
+					ABR:      abrFor(),
+					Trace:    prof.NewTrace(dist.NewSource(seedBase + uint64(pi*100+k))),
+					WatchSec: 400,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += res.AvgBitrateKbps - rebufPenaltyKbps*res.RebufferRatio()
+			}
+		}
+		return total
+	}
+	tuned := score(func() ABR { return &AutoTuned{Table: table} }, 7)
+	fixed := score(func() ABR { return BufferBased{} }, 7)
+	if tuned < 0.9*fixed {
+		t.Fatalf("auto-tuned score %.0f badly below default %.0f", tuned, fixed)
+	}
+}
+
+func TestAutoTunedNilTable(t *testing.T) {
+	abr := &AutoTuned{}
+	ladder := packaging.GuidelineLadder(4000, 1.8)
+	for i := 0; i < 20; i++ {
+		if idx := abr.Choose(ladder, State{BufferSec: 20, ThroughputKbps: 3000, ChunkSec: 4}); idx < 0 || idx >= len(ladder) {
+			t.Fatalf("invalid rendition %d", idx)
+		}
+	}
+	if cfg, ok := abr.TunedConfig(); !ok || cfg != (BufferBased{}) {
+		t.Fatalf("nil table should fall back to the default config, got %+v ok=%v", cfg, ok)
+	}
+}

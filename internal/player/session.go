@@ -1,0 +1,269 @@
+package player
+
+import (
+	"errors"
+	"fmt"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/netmodel"
+)
+
+// Config describes one playback session.
+type Config struct {
+	Manifest *manifest.Manifest // parsed manifest to play
+	ABR      ABR                // adaptation algorithm; nil uses BufferBased
+	Trace    *netmodel.Trace    // network path to the chosen CDN; required
+	CDN      *cdnsim.CDN        // serving CDN; nil disables edge-cache effects
+	ISP      string             // client ISP, selects the CDN edge POP
+	WatchSec float64            // how long the user intends to watch
+	// StartupChunks is the buffer (in chunks) required before playback
+	// starts; zero defaults to 2.
+	StartupChunks int
+	// RouteFlipSrc enables anycast route-instability modeling (§4.3:
+	// "anycast is susceptible to BGP route changes that sever ongoing
+	// TCP connections"). When non-nil and the CDN uses anycast, each
+	// chunk download risks a route flip that severs the connection and
+	// forces a reconnect. Nil disables the model.
+	RouteFlipSrc *dist.Source
+	// RouteFlipPerChunk overrides the per-chunk flip probability; zero
+	// defaults to 0.2% (a flip every ~30 minutes of 4s chunks).
+	RouteFlipPerChunk float64
+	// Fallback enables midstream CDN switching, the behavior behind
+	// §3's footnote that "during a single view, chunks may be
+	// downloaded from multiple CDNs": after SwitchAfterStalls stalls,
+	// the session fails over to the fallback CDN and path.
+	Fallback      *cdnsim.CDN
+	FallbackTrace *netmodel.Trace
+	// SwitchAfterStalls is the stall count that triggers failover;
+	// zero defaults to 2.
+	SwitchAfterStalls int
+	// LicenseSec is the DRM license-exchange time paid before the
+	// first chunk of protected content (see internal/drm); zero for
+	// unprotected content.
+	LicenseSec float64
+}
+
+// Result is what one session measures: the per-view metrics the
+// telemetry layer reports to the collector (§3 — viewing time, average
+// bitrate, rebuffering time).
+type Result struct {
+	PlayedSec       float64 // media seconds actually played
+	RebufferSec     float64 // stall time after startup
+	StartupSec      float64 // join time before first frame
+	AvgBitrateKbps  float64 // time-weighted average video bitrate
+	ChunksFetched   int
+	EdgeHits        int
+	BitrateSwitches int
+	RouteFlips      int      // anycast route changes that severed the connection
+	CDNsUsed        []string // CDNs chunks were downloaded from, in order of use
+}
+
+// RebufferRatio returns stall time as a fraction of the view (§6's
+// "fraction of the view that experiences rebuffering").
+func (r Result) RebufferRatio() float64 {
+	total := r.PlayedSec + r.RebufferSec
+	if total <= 0 {
+		return 0
+	}
+	return r.RebufferSec / total
+}
+
+// originMissPenalty scales a chunk's download time when the edge misses
+// and must fetch through to the origin.
+const originMissPenalty = 1.35
+
+// Anycast route-flip model: defaultRouteFlipPerChunk is the per-chunk
+// probability of a BGP route change severing the connection, and
+// routeFlipPenaltySec is the reconnect cost (TCP handshake plus
+// slow-start ramp) added to that chunk's download.
+const (
+	defaultRouteFlipPerChunk = 0.002
+	routeFlipPenaltySec      = 1.2
+)
+
+// throughputEWMA is the smoothing factor for the throughput estimate
+// fed to the ABR.
+const throughputEWMA = 0.65
+
+// Play runs one playback session to completion: either the user's
+// intended watch time is reached or (for VoD) the content ends.
+func Play(cfg Config) (Result, error) {
+	m := cfg.Manifest
+	switch {
+	case m == nil:
+		return Result{}, errors.New("player: nil manifest")
+	case len(m.Ladder) == 0:
+		return Result{}, errors.New("player: manifest has empty ladder")
+	case cfg.Trace == nil:
+		return Result{}, errors.New("player: nil network trace")
+	case cfg.WatchSec <= 0:
+		return Result{}, errors.New("player: non-positive watch duration")
+	}
+	abr := cfg.ABR
+	if abr == nil {
+		abr = BufferBased{}
+	}
+	startup := cfg.StartupChunks
+	if startup <= 0 {
+		startup = 2
+	}
+
+	var (
+		res        Result
+		bufferSec  float64
+		throughput float64 // EWMA Kbps
+		lastRend   = -1
+		weighted   float64 // Σ bitrate × seconds played at it
+		stalls     int
+	)
+	curCDN, curTrace := cfg.CDN, cfg.Trace
+	if curCDN != nil {
+		res.CDNsUsed = append(res.CDNsUsed, curCDN.Name)
+	}
+	if cfg.LicenseSec > 0 {
+		// Protected content: the license exchange completes before
+		// the first media request.
+		res.StartupSec += cfg.LicenseSec
+	}
+	switchAfter := cfg.SwitchAfterStalls
+	if switchAfter <= 0 {
+		switchAfter = 2
+	}
+
+	// contentChunks is how many chunks the session may fetch: bounded
+	// by the manifest for VoD, by watch time for live (new chunks keep
+	// being produced).
+	maxChunks := m.ChunkCount()
+	if m.Live {
+		maxChunks = int(cfg.WatchSec/m.ChunkSec) + startup + 2
+	}
+
+	for i := 0; i < maxChunks && res.PlayedSec < cfg.WatchSec; i++ {
+		rend := abr.Choose(m.Ladder, State{
+			BufferSec:      bufferSec,
+			ThroughputKbps: throughput,
+			ChunkSec:       m.ChunkSec,
+		})
+		if rend < 0 || rend >= len(m.Ladder) {
+			return Result{}, fmt.Errorf("player: ABR %q chose rendition %d of %d", abr.Name(), rend, len(m.Ladder))
+		}
+		if lastRend >= 0 && rend != lastRend {
+			res.BitrateSwitches++
+		}
+
+		chunkBytes := int64(float64(m.Ladder[rend].BitrateKbps+m.AudioKbps) * 1000 * m.ChunkSec / 8)
+		dlSec := curTrace.DownloadSec(chunkBytes)
+		if curCDN != nil {
+			key := chunkKey(m, rend, i)
+			if curCDN.ServeChunk(cfg.ISP, key, chunkBytes) {
+				res.EdgeHits++
+			} else {
+				dlSec *= originMissPenalty
+			}
+			if curCDN.Anycast && cfg.RouteFlipSrc != nil {
+				p := cfg.RouteFlipPerChunk
+				if p <= 0 {
+					p = defaultRouteFlipPerChunk
+				}
+				if cfg.RouteFlipSrc.Bool(p) {
+					res.RouteFlips++
+					dlSec += routeFlipPenaltySec
+				}
+			}
+		}
+		res.ChunksFetched++
+
+		// Update the throughput estimate from this download.
+		sample := float64(chunkBytes) * 8 / 1000 / dlSec
+		if throughput == 0 {
+			throughput = sample
+		} else {
+			throughput = throughputEWMA*throughput + (1-throughputEWMA)*sample
+		}
+
+		if res.ChunksFetched <= startup {
+			// Still joining: downloads accrue to startup delay.
+			res.StartupSec += dlSec
+			bufferSec += m.ChunkSec
+		} else {
+			// Playing while downloading: the buffer drains by the
+			// download time; hitting empty stalls the user.
+			drain := dlSec
+			if drain > bufferSec {
+				stall := drain - bufferSec
+				res.RebufferSec += stall
+				playedNow := bufferSec
+				res.PlayedSec += playedNow
+				weighted += playedNow * playedAt(m, lastRend)
+				bufferSec = 0
+				stalls++
+				// Midstream CDN failover: persistent stalling sends
+				// the rest of the view to the fallback CDN (§3 fn. 4).
+				if stalls >= switchAfter && cfg.Fallback != nil && cfg.FallbackTrace != nil &&
+					(curCDN == nil || curCDN.Name != cfg.Fallback.Name) {
+					curCDN, curTrace = cfg.Fallback, cfg.FallbackTrace
+					res.CDNsUsed = append(res.CDNsUsed, curCDN.Name)
+					throughput = 0 // re-probe the new path
+				}
+			} else {
+				bufferSec -= drain
+				res.PlayedSec += drain
+				weighted += drain * playedAt(m, lastRend)
+			}
+			bufferSec += m.ChunkSec
+		}
+		lastRend = rend
+
+		if !m.Live && i == maxChunks-1 {
+			// Content exhausted: drain the buffer.
+			remaining := cfg.WatchSec - res.PlayedSec
+			drain := bufferSec
+			if drain > remaining {
+				drain = remaining
+			}
+			if drain > 0 {
+				res.PlayedSec += drain
+				weighted += drain * playedAt(m, lastRend)
+			}
+		}
+	}
+	// Live sessions (and early exits) may end with media buffered;
+	// the user watches what remains up to their intent.
+	if remaining := cfg.WatchSec - res.PlayedSec; remaining > 0 && bufferSec > 0 && m.Live {
+		drain := bufferSec
+		if drain > remaining {
+			drain = remaining
+		}
+		res.PlayedSec += drain
+		weighted += drain * playedAt(m, lastRend)
+	}
+	if res.PlayedSec > 0 {
+		res.AvgBitrateKbps = weighted / res.PlayedSec
+	}
+	return res, nil
+}
+
+// playedAt returns the video bitrate playing while rendition r's chunk
+// downloads; before any chunk has completed the lowest rung plays.
+func playedAt(m *manifest.Manifest, lastRend int) float64 {
+	if lastRend < 0 {
+		lastRend = 0
+	}
+	return float64(m.Ladder[lastRend].BitrateKbps)
+}
+
+// chunkKey builds the cache key for chunk i. Live chunks are unique per
+// sequence number — a live segment produced now is a different object
+// from the one produced a window ago. Byte-range chunks share a URL but
+// cache per range, as HTTP caches keyed on (URL, Range) do.
+func chunkKey(m *manifest.Manifest, rend, i int) string {
+	if m.Live {
+		return fmt.Sprintf("%s#seq=%d", m.ChunkURL(rend, i%m.ChunkCount()), i)
+	}
+	if off, length, ok := m.ChunkRange(rend, i); ok {
+		return fmt.Sprintf("%s#range=%d-%d", m.ChunkURL(rend, i), off, off+length-1)
+	}
+	return m.ChunkURL(rend, i)
+}

@@ -1,0 +1,134 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStudyDays(t *testing.T) {
+	// Jan 2016 .. Mar 2018 inclusive: 2016 is a leap year.
+	want := 366 + 365 + 31 + 28 + 31 // 2016 + 2017 + Jan..Mar 2018
+	if got := StudyDays(); got != want {
+		t.Fatalf("StudyDays() = %d, want %d", got, want)
+	}
+}
+
+func TestDayIndexRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 59, 365, 366, StudyDays() - 1} {
+		if got := DayIndex(DayTime(i)); got != i {
+			t.Errorf("DayIndex(DayTime(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestDayIndexBeforeStart(t *testing.T) {
+	if got := DayIndex(StudyStart.Add(-Day)); got != -1 {
+		t.Fatalf("DayIndex(one day before start) = %d, want -1", got)
+	}
+}
+
+func TestMonthIndex(t *testing.T) {
+	cases := []struct {
+		t    time.Time
+		want int
+	}{
+		{StudyStart, 0},
+		{time.Date(2016, 12, 15, 0, 0, 0, 0, time.UTC), 11},
+		{time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC), 12},
+		{time.Date(2018, 3, 31, 0, 0, 0, 0, time.UTC), 26},
+	}
+	for _, c := range cases {
+		if got := MonthIndex(c.t); got != c.want {
+			t.Errorf("MonthIndex(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDefaultScheduleShape(t *testing.T) {
+	sched := DefaultSchedule()
+	if len(sched) == 0 {
+		t.Fatal("empty default schedule")
+	}
+	// Bi-weekly over 27 months: roughly 59 snapshots.
+	if len(sched) < 55 || len(sched) > 62 {
+		t.Fatalf("len(DefaultSchedule()) = %d, want ~59", len(sched))
+	}
+	for i, s := range sched {
+		if s.Index != i {
+			t.Fatalf("snapshot %d has Index %d", i, s.Index)
+		}
+		if s.Days != 2 {
+			t.Fatalf("snapshot %d has Days %d, want 2", i, s.Days)
+		}
+		if s.End().After(StudyEnd) {
+			t.Fatalf("snapshot %d (%v) extends past study end", i, s.Start)
+		}
+		if i > 0 && s.Start.Sub(sched[i-1].Start) != 14*Day {
+			t.Fatalf("snapshot %d not 14 days after previous", i)
+		}
+	}
+	// Latest snapshot must land in March 2018, the paper's "latest snapshot".
+	latest := sched.Latest()
+	if latest.Start.Year() != 2018 || latest.Start.Month() != time.March {
+		t.Fatalf("latest snapshot starts %v, want March 2018", latest.Start)
+	}
+}
+
+func TestSnapshotContains(t *testing.T) {
+	s := Snapshot{Index: 3, Start: DayTime(10), Days: 2}
+	if !s.Contains(DayTime(10)) || !s.Contains(DayTime(11).Add(23*time.Hour)) {
+		t.Error("Contains should include both window days")
+	}
+	if s.Contains(DayTime(12)) || s.Contains(DayTime(9)) {
+		t.Error("Contains should exclude days outside the window")
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	sched := DefaultSchedule()
+	if s, ok := sched.At(StudyStart.Add(time.Hour)); !ok || s.Index != 0 {
+		t.Fatalf("At(start+1h) = %+v, %v; want snapshot 0", s, ok)
+	}
+	// Day 3 falls between snapshot 0 (days 0-1) and snapshot 1 (days 14-15).
+	if _, ok := sched.At(DayTime(3)); ok {
+		t.Fatal("At(day 3) should not match any snapshot")
+	}
+	if _, ok := sched.At(StudyEnd.Add(Day)); ok {
+		t.Fatal("At(after end) should not match")
+	}
+}
+
+func TestSnapshotLabel(t *testing.T) {
+	s := Snapshot{Index: 7, Start: time.Date(2016, 4, 8, 0, 0, 0, 0, time.UTC), Days: 2}
+	if got, want := s.Label(), "2016-04-08#7"; got != want {
+		t.Fatalf("Label() = %q, want %q", got, want)
+	}
+}
+
+func TestFractionThrough(t *testing.T) {
+	if f := FractionThrough(StudyStart); f != 0 {
+		t.Errorf("FractionThrough(start) = %v", f)
+	}
+	if f := FractionThrough(StudyEnd); f != 1 {
+		t.Errorf("FractionThrough(end) = %v", f)
+	}
+	if f := FractionThrough(StudyStart.Add(-time.Hour)); f != 0 {
+		t.Errorf("FractionThrough(before start) = %v, want clamp to 0", f)
+	}
+	if f := FractionThrough(StudyEnd.Add(time.Hour)); f != 1 {
+		t.Errorf("FractionThrough(after end) = %v, want clamp to 1", f)
+	}
+	mid := FractionThrough(StudyStart.Add(StudyEnd.Sub(StudyStart) / 2))
+	if mid < 0.49 || mid > 0.51 {
+		t.Errorf("FractionThrough(mid) = %v, want ~0.5", mid)
+	}
+}
+
+func TestMakeSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeSchedule(0, 2) should panic")
+		}
+	}()
+	MakeSchedule(0, 2)
+}

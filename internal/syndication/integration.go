@@ -1,0 +1,92 @@
+package syndication
+
+import (
+	"fmt"
+
+	"vmp/internal/dist"
+)
+
+// IntegrationModel is the degree to which a syndicator's management
+// plane is integrated with the content owner's (§6).
+type IntegrationModel int
+
+const (
+	// Independent is today's prevalent model: the owner ships a
+	// mezzanine copy and the syndicator packages and distributes it
+	// through its own management plane.
+	Independent IntegrationModel = iota
+	// APIIntegrated has the syndicator use the owner's manifest file
+	// and CDN; playback software remains the syndicator's.
+	APIIntegrated
+	// AppIntegrated embeds the owner's app inside the syndicator's, so
+	// packaging, distribution, and playback are all the owner's.
+	AppIntegrated
+)
+
+// String names the model as §6 does.
+func (m IntegrationModel) String() string {
+	switch m {
+	case Independent:
+		return "independent"
+	case APIIntegrated:
+		return "API-integrated"
+	case AppIntegrated:
+		return "app-integrated"
+	default:
+		return fmt.Sprintf("IntegrationModel(%d)", int(m))
+	}
+}
+
+// EffectiveLadder returns the bitrate ladder a syndicator's clients
+// actually play under the model: under either integrated variant the
+// syndicator "cannot choose different bitrates than content owners"
+// (§6), so the owner's ladder applies.
+func EffectiveLadder(owner, synd PublisherLadder, model IntegrationModel) PublisherLadder {
+	switch model {
+	case APIIntegrated, AppIntegrated:
+		return PublisherLadder{ID: synd.ID, Ladder: owner.Ladder}
+	default:
+		return synd
+	}
+}
+
+// MeasureIntegration plays the syndicator's clients under the given
+// integration model on one network slice and returns their QoE
+// distribution: the quantitative version of §6's argument that
+// integrated syndication removes the performance differences of Figs
+// 15 and 16.
+func MeasureIntegration(owner, synd PublisherLadder, titleID string, model IntegrationModel, slice QoESlice) (QoEDist, error) {
+	if slice.Sessions <= 0 {
+		return QoEDist{}, fmt.Errorf("syndication: non-positive session count")
+	}
+	if slice.CDN == nil {
+		return QoEDist{}, fmt.Errorf("syndication: nil CDN")
+	}
+	effective := EffectiveLadder(owner, synd, model)
+	// Under API/app integration the syndicator's clients fetch the
+	// owner's packaged copies: identical manifest (owner's video ID),
+	// so they share the owner's cached chunks at the edge.
+	if model != Independent {
+		effective.ID = owner.ID
+	}
+	// Deterministic per-(publisher, model) stream, so results are
+	// reproducible and comparable across models.
+	src := dist.NewSource(slice.Seed).Split("integration-" + synd.ID + "-" + model.String())
+	return measure(effective, titleID, slice, src)
+}
+
+// StorageUnderModel returns the per-CDN storage a catalogue occupies
+// under the model, as a fraction of its independent-syndication
+// footprint: 1.0 for independent, and the owner-only share under
+// either integrated variant (both variants remove the syndicators'
+// copies; they differ in playback control, not storage).
+func StorageUnderModel(rep CDNStorageReport, model IntegrationModel) float64 {
+	if model == Independent {
+		return 1
+	}
+	total := float64(rep.Report.TotalBytes)
+	if total == 0 {
+		return 0
+	}
+	return (total - float64(rep.Report.Integrated)) / total
+}

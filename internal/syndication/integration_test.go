@@ -1,0 +1,115 @@
+package syndication
+
+import (
+	"testing"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/dist"
+	"vmp/internal/netmodel"
+)
+
+func TestIntegrationModelNames(t *testing.T) {
+	for m, want := range map[IntegrationModel]string{
+		Independent:   "independent",
+		APIIntegrated: "API-integrated",
+		AppIntegrated: "app-integrated",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+	if IntegrationModel(9).String() != "IntegrationModel(9)" {
+		t.Error("unknown model should format numerically")
+	}
+}
+
+func TestEffectiveLadder(t *testing.T) {
+	cat := StarCatalogue()
+	s7, _ := cat.SyndicatorByID("S7")
+	if got := EffectiveLadder(cat.Owner, s7, Independent); len(got.Ladder) != 3 {
+		t.Errorf("independent ladder = %d rungs, want S7's 3", len(got.Ladder))
+	}
+	for _, m := range []IntegrationModel{APIIntegrated, AppIntegrated} {
+		got := EffectiveLadder(cat.Owner, s7, m)
+		if len(got.Ladder) != len(cat.Owner.Ladder) {
+			t.Errorf("%v ladder = %d rungs, want owner's %d", m, len(got.Ladder), len(cat.Owner.Ladder))
+		}
+		if got.ID != "S7" {
+			t.Errorf("%v should keep the syndicator's identity, got %q", m, got.ID)
+		}
+	}
+}
+
+// TestIntegrationClosesTheQoEGap is §6's claim: with integrated
+// syndication, "performance differences similar to Fig 15 are unlikely
+// to arise".
+func TestIntegrationClosesTheQoEGap(t *testing.T) {
+	cdns := cdnsim.NewRegistry(dist.NewSource(1))
+	cdnA, _ := cdns.ByName("A")
+	ispX, _ := netmodel.ISPByName("ISP-X")
+	slice := QoESlice{ISP: ispX, Conn: netmodel.Cellular, CDN: cdnA,
+		Sessions: 60, WatchSec: 900, Seed: 11}
+	cat := StarCatalogue()
+	s7, _ := cat.SyndicatorByID("S7")
+
+	owner, _, err := CompareQoE(cat.Owner, cat.Owner, cat.TitleID, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep, err := MeasureIntegration(cat.Owner, s7, cat.TitleID, Independent, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := MeasureIntegration(cat.Owner, s7, cat.TitleID, APIIntegrated, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := MeasureIntegration(cat.Owner, s7, cat.TitleID, AppIntegrated, slice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent syndication leaves a large bitrate gap.
+	if indep.MedianKbps > 0.6*owner.MedianKbps {
+		t.Fatalf("independent syndicator median %.0f too close to owner %.0f",
+			indep.MedianKbps, owner.MedianKbps)
+	}
+	// Integrated variants close it.
+	for name, d := range map[string]QoEDist{"API": api, "app": app} {
+		ratio := d.MedianKbps / owner.MedianKbps
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s-integrated median %.0f not at parity with owner %.0f",
+				name, d.MedianKbps, owner.MedianKbps)
+		}
+	}
+}
+
+func TestMeasureIntegrationValidation(t *testing.T) {
+	cat := StarCatalogue()
+	s7, _ := cat.SyndicatorByID("S7")
+	if _, err := MeasureIntegration(cat.Owner, s7, cat.TitleID, Independent, QoESlice{}); err == nil {
+		t.Fatal("zero slice accepted")
+	}
+}
+
+func TestStorageUnderModel(t *testing.T) {
+	exp, err := RunStorageExperiment(DefaultStorageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := exp.Reports[0]
+	if got := StorageUnderModel(rep, Independent); got != 1 {
+		t.Errorf("independent fraction = %v, want 1", got)
+	}
+	api := StorageUnderModel(rep, APIIntegrated)
+	app := StorageUnderModel(rep, AppIntegrated)
+	if api != app {
+		t.Error("API and app integration should occupy the same storage")
+	}
+	// Fig 18: integrated removes ~65% → ~0.35 remains.
+	if api < 0.28 || api > 0.45 {
+		t.Errorf("integrated storage fraction = %v, want ~0.36", api)
+	}
+	if got := StorageUnderModel(CDNStorageReport{}, APIIntegrated); got != 0 {
+		t.Errorf("empty report fraction = %v, want 0", got)
+	}
+}

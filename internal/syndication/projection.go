@@ -1,0 +1,98 @@
+package syndication
+
+import (
+	"fmt"
+	"sort"
+
+	"vmp/internal/dist"
+	"vmp/internal/ecosystem"
+	"vmp/internal/packaging"
+)
+
+// Population-wide integrated-syndication projection: §8 closes by
+// asking future work to "explore mechanisms for integrated
+// syndication". The Fig 18 experiment quantifies one catalogue; this
+// file scales the question to the whole population — if every
+// syndication relationship in the ecosystem moved to the integrated
+// model, how much origin storage would each syndicator's copies stop
+// consuming?
+
+// OwnerProjection is the projected saving for one content owner's
+// syndicated catalogue.
+type OwnerProjection struct {
+	Owner          string
+	Syndicators    int
+	CatalogueGB    float64 // owner's own copy, per CDN
+	RedundantGB    float64 // syndicators' copies removed by integration
+	RedundancyMult float64 // redundant bytes as a multiple of the owner's copy
+}
+
+// PopulationProjection aggregates the projection across the ecosystem.
+type PopulationProjection struct {
+	Owners           []OwnerProjection // sorted by RedundantGB descending
+	TotalOwnerGB     float64
+	TotalRedundantGB float64
+}
+
+// ProjectIntegration computes the population projection from the
+// ecosystem's syndication graph. Each syndicator re-encodes the
+// owner's catalogue with its own ladder (per-title perturbation of the
+// guideline ladder, as the sampler does), so redundant bytes follow
+// from the graph's fan-out and the syndicators' ladder choices.
+// syndShare is the fraction of an owner's catalogue its syndicators
+// actually carry (full syndication = 1); the default 0.35 reflects
+// partial catalogue licensing.
+func ProjectIntegration(eco *ecosystem.Ecosystem, syndShare float64) (*PopulationProjection, error) {
+	if eco == nil {
+		return nil, fmt.Errorf("syndication: nil ecosystem")
+	}
+	if syndShare <= 0 || syndShare > 1 {
+		syndShare = 0.35
+	}
+	src := dist.NewSource(ecosystem.DefaultSeed).Split("integration-projection")
+	proj := &PopulationProjection{}
+	for _, owner := range eco.Publishers {
+		if owner.IsSyndicator || len(owner.SyndicatesTo) == 0 {
+			continue
+		}
+		// Owner's catalogue bytes: Σ ladder bitrates × catalogue hours.
+		ownerLadder := packaging.PerTitleLadder(src.Split("owner-"+owner.ID), 1200+1400*int(owner.Bucket), 1)
+		hours := float64(owner.CatalogSize) * owner.MeanVideoHours
+		ownerGB := ladderGB(ownerLadder.Bitrates(), hours)
+		op := OwnerProjection{
+			Owner:       owner.ID,
+			Syndicators: len(owner.SyndicatesTo),
+			CatalogueGB: ownerGB,
+		}
+		for _, sid := range owner.SyndicatesTo {
+			s, ok := eco.PublisherByID(sid)
+			if !ok {
+				return nil, fmt.Errorf("syndication: graph references unknown publisher %s", sid)
+			}
+			sLadder := packaging.PerTitleLadder(src.Split("synd-"+sid+"-"+owner.ID), 1200+1400*int(s.Bucket), 1)
+			op.RedundantGB += ladderGB(sLadder.Bitrates(), hours*syndShare)
+		}
+		if ownerGB > 0 {
+			op.RedundancyMult = op.RedundantGB / ownerGB
+		}
+		proj.Owners = append(proj.Owners, op)
+		proj.TotalOwnerGB += ownerGB
+		proj.TotalRedundantGB += op.RedundantGB
+	}
+	sort.Slice(proj.Owners, func(i, j int) bool {
+		if proj.Owners[i].RedundantGB != proj.Owners[j].RedundantGB {
+			return proj.Owners[i].RedundantGB > proj.Owners[j].RedundantGB
+		}
+		return proj.Owners[i].Owner < proj.Owners[j].Owner
+	})
+	return proj, nil
+}
+
+// ladderGB converts a bitrate ladder and content hours to gigabytes.
+func ladderGB(bitratesKbps []int, hours float64) float64 {
+	sum := 0
+	for _, k := range bitratesKbps {
+		sum += k
+	}
+	return float64(sum) * 1000 / 8 * hours * 3600 / 1e9
+}

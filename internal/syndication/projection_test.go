@@ -1,0 +1,84 @@
+package syndication
+
+import (
+	"testing"
+
+	"vmp/internal/ecosystem"
+)
+
+func TestProjectIntegration(t *testing.T) {
+	eco := ecosystem.New(ecosystem.Config{SnapshotStride: 59})
+	proj, err := ProjectIntegration(eco, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Owners) == 0 {
+		t.Fatal("no syndicating owners projected")
+	}
+	if proj.TotalRedundantGB <= 0 || proj.TotalOwnerGB <= 0 {
+		t.Fatalf("degenerate totals: %+v", proj)
+	}
+	// Fig 14: >80% of owners syndicate, so the projection must cover a
+	// large share of the non-syndicator population.
+	owners := 0
+	for _, p := range eco.Publishers {
+		if !p.IsSyndicator {
+			owners++
+		}
+	}
+	if frac := float64(len(proj.Owners)) / float64(owners); frac < 0.7 {
+		t.Fatalf("projection covers %.2f of owners, want > 0.7", frac)
+	}
+	// Sorted by redundant bytes, descending.
+	for i := 1; i < len(proj.Owners); i++ {
+		if proj.Owners[i].RedundantGB > proj.Owners[i-1].RedundantGB {
+			t.Fatal("owners not sorted by redundancy")
+		}
+	}
+	// Per-owner sanity: redundancy scales with syndicator fan-out. A
+	// small owner syndicated by large publishers can exceed 1x per
+	// syndicator (their ladders are taller than its own), but never by
+	// more than the ladder-height ratio.
+	for _, op := range proj.Owners {
+		if op.Syndicators <= 0 || op.CatalogueGB <= 0 {
+			t.Fatalf("degenerate owner projection %+v", op)
+		}
+		if op.RedundancyMult > 3*float64(op.Syndicators) {
+			t.Fatalf("%s redundancy %.1fx implausible for %d syndicators", op.Owner, op.RedundancyMult, op.Syndicators)
+		}
+	}
+}
+
+func TestProjectIntegrationDeterministic(t *testing.T) {
+	eco := ecosystem.New(ecosystem.Config{SnapshotStride: 59})
+	a, err := ProjectIntegration(eco, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProjectIntegration(eco, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRedundantGB != b.TotalRedundantGB {
+		t.Fatal("projection not deterministic")
+	}
+}
+
+func TestProjectIntegrationValidation(t *testing.T) {
+	if _, err := ProjectIntegration(nil, 0.35); err == nil {
+		t.Fatal("nil ecosystem accepted")
+	}
+	eco := ecosystem.New(ecosystem.Config{SnapshotStride: 59})
+	// Out-of-range share falls back to the default rather than erroring.
+	proj, err := ProjectIntegration(eco, -1)
+	if err != nil || proj.TotalRedundantGB <= 0 {
+		t.Fatalf("share fallback failed: %v %v", proj, err)
+	}
+	full, err := ProjectIntegration(eco, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalRedundantGB <= proj.TotalRedundantGB {
+		t.Fatal("full syndication should be more redundant than partial")
+	}
+}

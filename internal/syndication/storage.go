@@ -1,0 +1,105 @@
+package syndication
+
+import (
+	"fmt"
+
+	"vmp/internal/cdnsim"
+	"vmp/internal/manifest"
+)
+
+// The Fig 18 experiment: a popular video catalogue served by its owner
+// and two syndicators. The owner stores the catalogue on CDNs A and B
+// with 9 bitrates; one syndicator on A, B, and C with 7 bitrates; the
+// other on A, B, and D with 14. The rung placements below reproduce
+// the overlap structure the HLS ladder guidelines induce (§6: "they
+// tend to follow guidelines recommended by streaming protocol
+// specifications"), which is what makes tolerance-based dedup
+// effective.
+
+// storageOwnerLadder etc. are the Fig 18 ladders. Offsets from the
+// owner's rungs sit in the 3-5% band (merged at 5% tolerance) or the
+// 8-9.5% band (merged only at 10%).
+var (
+	storageOwnerLadder = []int{150, 280, 520, 950, 1700, 3000, 5200, 8192, 10000}
+	storageSynd1Ladder = []int{156, 300, 545, 995, 1780, 3250, 5650}
+	storageSynd2Ladder = []int{157, 288, 565, 990, 1850, 3120, 5430, 8900, 10900, 420, 750, 1350, 2350, 4200}
+)
+
+// StorageConfig parameterizes the Fig 18 experiment.
+type StorageConfig struct {
+	// CatalogueHours is the total content duration of the catalogue.
+	// The default reproduces the paper's 1916 TB per-CDN footprint.
+	CatalogueHours float64
+	// Titles splits the catalogue into this many video IDs.
+	Titles int
+}
+
+// DefaultStorageConfig returns the configuration whose per-CDN
+// footprint lands at the paper's 1916 TB.
+func DefaultStorageConfig() StorageConfig {
+	return StorageConfig{CatalogueHours: 50700, Titles: 600}
+}
+
+// CDNStorageReport is the Fig 18 outcome for one CDN.
+type CDNStorageReport struct {
+	CDN    string
+	Report cdnsim.SavingsReport
+}
+
+// StorageExperiment holds the populated origins and results.
+type StorageExperiment struct {
+	Config  StorageConfig
+	Reports []CDNStorageReport // CDNs A and B (the common ones)
+}
+
+// RunStorageExperiment populates fresh origin stores for CDNs A-D with
+// the three publishers' copies of the catalogue and computes savings
+// under exact, 5%, 10%, and integrated dedup for the two common CDNs.
+func RunStorageExperiment(cfg StorageConfig) (*StorageExperiment, error) {
+	if cfg.CatalogueHours <= 0 || cfg.Titles <= 0 {
+		return nil, fmt.Errorf("syndication: invalid storage config %+v", cfg)
+	}
+	origins := map[string]*cdnsim.Origin{
+		"A": cdnsim.NewOrigin(), "B": cdnsim.NewOrigin(),
+		"C": cdnsim.NewOrigin(), "D": cdnsim.NewOrigin(),
+	}
+	pubs := []struct {
+		id     string
+		ladder []int
+		cdns   []string
+	}{
+		{"O18", storageOwnerLadder, []string{"A", "B"}},
+		{"SY1", storageSynd1Ladder, []string{"A", "B", "C"}},
+		{"SY2", storageSynd2Ladder, []string{"A", "B", "D"}},
+	}
+	perTitleSec := cfg.CatalogueHours * 3600 / float64(cfg.Titles)
+	ownerOf := make(map[string]string, cfg.Titles)
+	for t := 0; t < cfg.Titles; t++ {
+		contentID := fmt.Sprintf("cat18-%04d", t)
+		ownerOf[contentID] = "O18"
+		for _, pub := range pubs {
+			bytesByBitrate := make(map[int]int64, len(pub.ladder))
+			for _, kbps := range pub.ladder {
+				// §6 storage model: bitrate × duration.
+				bytesByBitrate[kbps] = int64(float64(kbps) * 1000 * perTitleSec / 8)
+			}
+			for _, cdn := range pub.cdns {
+				origins[cdn].Push(pub.id, contentID, bytesByBitrate)
+			}
+		}
+	}
+	exp := &StorageExperiment{Config: cfg}
+	for _, cdn := range []string{"A", "B"} {
+		exp.Reports = append(exp.Reports, CDNStorageReport{
+			CDN:    cdn,
+			Report: origins[cdn].Savings(ownerOf),
+		})
+	}
+	return exp, nil
+}
+
+// Fig18Ladders exposes the three ladders as manifest.Ladder values for
+// documentation and rendering.
+func Fig18Ladders() (owner, synd1, synd2 manifest.Ladder) {
+	return ladder(storageOwnerLadder...), ladder(storageSynd1Ladder...), ladder(storageSynd2Ladder...)
+}

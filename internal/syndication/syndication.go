@@ -1,0 +1,174 @@
+// Package syndication implements the §6 analyses: the prevalence of
+// content syndication (Fig 14), the bitrate-ladder heterogeneity of a
+// popular syndicated catalogue (Fig 17), owner-versus-syndicator
+// delivery performance measured with real playback sessions (Figs 15
+// and 16), and CDN origin-storage redundancy under independent versus
+// integrated syndication (Fig 18).
+package syndication
+
+import (
+	"fmt"
+	"sort"
+
+	"vmp/internal/ecosystem"
+	"vmp/internal/manifest"
+	"vmp/internal/packaging"
+	"vmp/internal/stats"
+)
+
+// PrevalencePoint is one owner's position in the Fig 14 CDF.
+type PrevalencePoint struct {
+	Owner   string
+	Percent float64 // % of full syndicators carrying this owner's content
+}
+
+// Prevalence computes Fig 14 from the population's syndication graph:
+// for each content owner, the percentage of full syndicators that
+// syndicate its content, plus the empirical CDF over owners.
+func Prevalence(pubs []*ecosystem.Publisher) ([]PrevalencePoint, *stats.ECDF) {
+	nSynd := 0
+	for _, p := range pubs {
+		if p.IsSyndicator {
+			nSynd++
+		}
+	}
+	var points []PrevalencePoint
+	var values []float64
+	for _, p := range pubs {
+		if p.IsSyndicator {
+			continue
+		}
+		pct := 0.0
+		if nSynd > 0 {
+			pct = 100 * float64(len(p.SyndicatesTo)) / float64(nSynd)
+		}
+		points = append(points, PrevalencePoint{Owner: p.ID, Percent: pct})
+		values = append(values, pct)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Percent < points[j].Percent })
+	return points, stats.NewECDF(values)
+}
+
+// PublisherLadder is one publisher's encoding of a syndicated title.
+type PublisherLadder struct {
+	ID     string
+	Ladder manifest.Ladder
+}
+
+// Catalogue describes a syndicated video catalogue: the owner's
+// encoding and each syndicator's independent encoding of the same
+// content.
+type Catalogue struct {
+	Name        string
+	TitleID     string // representative video ID for the Fig 17 slice
+	Owner       PublisherLadder
+	Syndicators []PublisherLadder
+}
+
+// ladder builds a fully-populated ladder from bare bitrates.
+func ladder(kbps ...int) manifest.Ladder {
+	out := make(manifest.Ladder, 0, len(kbps))
+	for _, k := range kbps {
+		out = append(out, packaging.RenditionFor(k))
+	}
+	return out
+}
+
+// StarCatalogue returns the popular catalogue behind Figs 15-17: one
+// owner and ten syndicators whose independent packaging choices
+// reproduce the heterogeneity of Fig 17 — the owner offers 9 bitrates
+// topping 8192 Kbps, S2 encodes just 3, S9 fields 14, and S1's ceiling
+// is ~7x below the owner's. S7, the subject of the Fig 15/16
+// performance comparison, uses a sparse ladder whose coarse rungs are
+// what degrade its clients' delivered quality.
+func StarCatalogue() *Catalogue {
+	return &Catalogue{
+		Name:    "star",
+		TitleID: "star-ep01",
+		Owner:   PublisherLadder{ID: "O", Ladder: ladder(150, 280, 520, 950, 1700, 3000, 5200, 8192, 10000)},
+		Syndicators: []PublisherLadder{
+			{ID: "S1", Ladder: ladder(180, 320, 560, 820, 1150)},
+			{ID: "S2", Ladder: ladder(400, 1200, 2800)},
+			{ID: "S3", Ladder: ladder(160, 350, 700, 1400, 2800, 5000)},
+			{ID: "S4", Ladder: ladder(150, 300, 600, 1100, 1900, 3200, 5400, 8000)},
+			{ID: "S5", Ladder: ladder(250, 500, 1000, 2000, 4000)},
+			{ID: "S6", Ladder: ladder(150, 280, 520, 950, 1700, 3000, 5200)},
+			{ID: "S7", Ladder: ladder(350, 900, 2200)},
+			{ID: "S8", Ladder: ladder(150, 270, 480, 850, 1500, 2600, 4500, 6500, 8192, 9800)},
+			{ID: "S9", Ladder: ladder(120, 200, 320, 480, 700, 1000, 1400, 1900, 2600, 3400, 4400, 5600, 6500, 7500)},
+			{ID: "S10", Ladder: ladder(300, 800, 2000, 4500)},
+		},
+	}
+}
+
+// SyndicatorByID returns the catalogue's syndicator with the given ID.
+func (c *Catalogue) SyndicatorByID(id string) (PublisherLadder, bool) {
+	for _, s := range c.Syndicators {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return PublisherLadder{}, false
+}
+
+// LadderTable renders the Fig 17 comparison: for the owner and every
+// syndicator, the bitrate count, floor, and ceiling.
+type LadderRow struct {
+	Publisher string
+	Bitrates  []int
+	Count     int
+	MinKbps   int
+	MaxKbps   int
+}
+
+// LadderTable summarizes the catalogue's ladders in Fig 17 order
+// (owner first).
+func (c *Catalogue) LadderTable() []LadderRow {
+	rows := []LadderRow{ladderRow(c.Owner)}
+	for _, s := range c.Syndicators {
+		rows = append(rows, ladderRow(s))
+	}
+	return rows
+}
+
+func ladderRow(pl PublisherLadder) LadderRow {
+	return LadderRow{
+		Publisher: pl.ID,
+		Bitrates:  pl.Ladder.Bitrates(),
+		Count:     len(pl.Ladder),
+		MinKbps:   pl.Ladder.Min(),
+		MaxKbps:   pl.Ladder.Max(),
+	}
+}
+
+// CheckFig17Invariants verifies the catalogue reproduces Fig 17's
+// qualitative findings; it returns a descriptive error on violation.
+// Tests and the study CLI both run it.
+func (c *Catalogue) CheckFig17Invariants() error {
+	if n := len(c.Syndicators); n != 10 {
+		return fmt.Errorf("syndication: catalogue has %d syndicators, want 10", n)
+	}
+	if len(c.Owner.Ladder) != 9 {
+		return fmt.Errorf("syndication: owner has %d bitrates, want 9", len(c.Owner.Ladder))
+	}
+	if c.Owner.Ladder.Max() < 8192 {
+		return fmt.Errorf("syndication: owner ceiling %d, want > 8192", c.Owner.Ladder.Max())
+	}
+	s2, _ := c.SyndicatorByID("S2")
+	if len(s2.Ladder) != 3 {
+		return fmt.Errorf("syndication: S2 has %d bitrates, want 3", len(s2.Ladder))
+	}
+	s9, _ := c.SyndicatorByID("S9")
+	if len(s9.Ladder) != 14 {
+		return fmt.Errorf("syndication: S9 has %d bitrates, want 14", len(s9.Ladder))
+	}
+	s1, _ := c.SyndicatorByID("S1")
+	ratio := float64(c.Owner.Ladder.Max()) / float64(s1.Ladder.Max())
+	if ratio < 6 || ratio > 9 {
+		return fmt.Errorf("syndication: owner/S1 ceiling ratio %.1f, want ~7", ratio)
+	}
+	if s1.Ladder.Max() < 1024 || s1.Ladder.Max() > 1400 {
+		return fmt.Errorf("syndication: S1 ceiling %d, want a little above 1024", s1.Ladder.Max())
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"vmp/internal/manifest"
+)
+
+// Collector is the backend half of the monitoring pipeline: an HTTP
+// service that ingests JSON-lines batches of view records (the wire
+// format publishers' monitoring libraries report in) and accumulates
+// them in a Store. Use NewCollector and mount Handler on any mux.
+type Collector struct {
+	store    *Store
+	ingested atomic.Int64
+	rejected atomic.Int64
+}
+
+// NewCollector returns a collector backed by store. A nil store gets a
+// fresh one.
+func NewCollector(store *Store) *Collector {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Collector{store: store}
+}
+
+// Store returns the backing store.
+func (c *Collector) Store() *Store { return c.store }
+
+// Handler returns the collector's HTTP handler:
+//
+//	POST /v1/views   — body is JSON-lines ViewRecords; returns 202
+//	GET  /v1/stats   — ingestion counters as JSON
+//	GET  /v1/summary — per-protocol and per-device view-hour shares
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/views", c.handleViews)
+	mux.HandleFunc("/v1/stats", c.handleStats)
+	mux.HandleFunc("/v1/summary", c.handleSummary)
+	return mux
+}
+
+func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	defer r.Body.Close()
+	var (
+		batch []ViewRecord
+		bad   int
+	)
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec ViewRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Publisher == "" {
+			bad++
+			continue
+		}
+		batch = append(batch, rec)
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	c.store.Append(batch...)
+	c.ingested.Add(int64(len(batch)))
+	c.rejected.Add(int64(bad))
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", len(batch), bad)
+}
+
+func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"ingested":%d,"rejected":%d,"stored":%d}`+"\n",
+		c.ingested.Load(), c.rejected.Load(), c.store.Len())
+}
+
+// Summary is the /v1/summary payload: the coarse dataset breakdown a
+// streaming-analytics dashboard leads with.
+type Summary struct {
+	Records        int                `json:"records"`
+	Publishers     int                `json:"publishers"`
+	ViewHours      float64            `json:"view_hours"`
+	ProtocolVHPct  map[string]float64 `json:"protocol_vh_pct"`
+	DeviceVHPct    map[string]float64 `json:"device_vh_pct"`
+	LiveVHPct      float64            `json:"live_vh_pct"`
+	FailedViewsPct float64            `json:"failed_views_pct"`
+}
+
+// Summarize computes the summary over the store's current contents.
+func (c *Collector) Summarize() Summary {
+	recs := c.store.All()
+	s := Summary{
+		Records:       len(recs),
+		ProtocolVHPct: map[string]float64{},
+		DeviceVHPct:   map[string]float64{},
+	}
+	pubs := map[string]struct{}{}
+	var liveVH, views, failed float64
+	for i := range recs {
+		r := &recs[i]
+		pubs[r.Publisher] = struct{}{}
+		vh := r.ViewHours()
+		s.ViewHours += vh
+		s.ProtocolVHPct[manifest.InferProtocol(r.URL).String()] += vh
+		s.DeviceVHPct[r.Device] += vh
+		if r.Live {
+			liveVH += vh
+		}
+		views += r.Views()
+		if r.Failed {
+			failed += r.Views()
+		}
+	}
+	s.Publishers = len(pubs)
+	if s.ViewHours > 0 {
+		for k := range s.ProtocolVHPct {
+			s.ProtocolVHPct[k] = 100 * s.ProtocolVHPct[k] / s.ViewHours
+		}
+		for k := range s.DeviceVHPct {
+			s.DeviceVHPct[k] = 100 * s.DeviceVHPct[k] / s.ViewHours
+		}
+		s.LiveVHPct = 100 * liveVH / s.ViewHours
+	}
+	if views > 0 {
+		s.FailedViewsPct = 100 * failed / views
+	}
+	return s
+}
+
+func (c *Collector) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(c.Summarize()); err != nil {
+		http.Error(w, "encode error", http.StatusInternalServerError)
+	}
+}
+
+// Sensor is the client half: the monitoring library a publisher
+// integrates with its video player (§3). It batches records and posts
+// them to a collector endpoint.
+type Sensor struct {
+	endpoint string
+	client   *http.Client
+	batch    []ViewRecord
+	batchMax int
+}
+
+// NewSensor returns a sensor posting to endpoint (the collector's
+// /v1/views URL). batchMax bounds records per POST; values < 1 default
+// to 100.
+func NewSensor(endpoint string, client *http.Client, batchMax int) *Sensor {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if batchMax < 1 {
+		batchMax = 100
+	}
+	return &Sensor{endpoint: endpoint, client: client, batchMax: batchMax}
+}
+
+// Report queues one view record, flushing if the batch is full.
+func (s *Sensor) Report(rec ViewRecord) error {
+	s.batch = append(s.batch, rec)
+	if len(s.batch) >= s.batchMax {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush posts all queued records. It is a no-op on an empty batch.
+func (s *Sensor) Flush() error {
+	if len(s.batch) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, s.batch); err != nil {
+		return err
+	}
+	resp, err := s.client.Post(s.endpoint, "application/x-ndjson", &buf)
+	if err != nil {
+		return fmt.Errorf("telemetry: posting views: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("telemetry: collector returned %s", resp.Status)
+	}
+	s.batch = s.batch[:0]
+	return nil
+}
+
+// Pending returns the number of queued, unflushed records.
+func (s *Sensor) Pending() int { return len(s.batch) }
+
+// EncodeJSONL writes records to w as JSON lines.
+func EncodeJSONL(w io.Writer, records []ViewRecord) error {
+	enc := json.NewEncoder(w)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("telemetry: encoding record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodeJSONL reads JSON-lines records from r until EOF.
+func DecodeJSONL(r io.Reader) ([]ViewRecord, error) {
+	var out []ViewRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec ViewRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,190 @@
+// Package telemetry reproduces the measurement substrate of the study:
+// the per-view metadata records a Conviva-style monitoring library
+// reports from inside publishers' players (§3), an in-memory store that
+// supports the snapshot queries the analyses run, and an HTTP collector
+// backend with a client sensor for wire-level ingestion.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"vmp/internal/simclock"
+)
+
+// ViewRecord is the metadata of one video view, mirroring the dataset
+// schema described in §3: anonymized publisher ID, a URL that retains
+// the manifest file extension, device model and OS, user agent (browser
+// views) or SDK and SDK version (app views), the CDN(s) used, the set
+// of available bitrates, viewing time, and delivery performance
+// (average bitrate and rebuffering time). The syndication fields carry
+// §6's per-(publisher, video) owned/syndicated flag.
+type ViewRecord struct {
+	Timestamp time.Time `json:"ts"`
+	Publisher string    `json:"pub"`   // anonymized publisher ID
+	VideoID   string    `json:"video"` // anonymized video ID
+	URL       string    `json:"url"`   // manifest URL, extension retained
+
+	Device     string `json:"device"`           // e.g. "Roku", "iPhone", "HTML5"
+	OS         string `json:"os"`               // e.g. "iOS", "RokuOS"
+	UserAgent  string `json:"ua,omitempty"`     // browser views
+	SDK        string `json:"sdk,omitempty"`    // app views: SDK family
+	SDKVersion string `json:"sdkver,omitempty"` // app views: SDK version
+
+	CDNs     []string `json:"cdns"` // CDNs used during the view (§3 fn. 4)
+	Bitrates []int    `json:"bitrates"`
+	ISP      string   `json:"isp"`
+	ConnType string   `json:"conn"`
+	Geo      string   `json:"geo"` // e.g. "US-CA"
+	Live     bool     `json:"live"`
+
+	Syndicated bool   `json:"synd"`            // owned vs syndicated (§6)
+	ContentID  string `json:"content"`         // underlying title identity
+	Owner      string `json:"owner,omitempty"` // owning publisher
+
+	ViewSec        float64 `json:"viewsec"`
+	AvgBitrateKbps float64 `json:"avgkbps"`
+	RebufferSec    float64 `json:"rebufsec"`
+
+	// Failed marks a view that never started or aborted on a fatal
+	// error — the raw material of failure triaging (§5).
+	Failed bool `json:"failed,omitempty"`
+
+	// Weight is the number of real views this record represents. The
+	// paper's dataset is a census of >100 billion views; the simulation
+	// stores a stratified per-publisher sample and carries the
+	// expansion factor here so view and view-hour totals are unbiased.
+	// Zero means 1 (an unsampled record).
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Views returns the number of real views the record represents.
+func (r *ViewRecord) Views() float64 {
+	if r.Weight <= 0 {
+		return 1
+	}
+	return r.Weight
+}
+
+// ViewHours returns the view's contribution to view-hours, the paper's
+// primary measure, expanded by the sampling weight.
+func (r *ViewRecord) ViewHours() float64 { return r.Views() * r.ViewSec / 3600 }
+
+// AppView reports whether the view came through an app (it carries an
+// SDK) rather than a browser.
+func (r *ViewRecord) AppView() bool { return r.SDK != "" }
+
+// Store is an append-only, query-by-window view-record store: the
+// simulation's stand-in for the collector backend's dataset. It is safe
+// for concurrent use; Append keeps records ordered by timestamp
+// internally via sort-on-read with invalidation, so bulk generation
+// stays cheap.
+type Store struct {
+	mu      sync.RWMutex
+	records []ViewRecord
+	sorted  bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{sorted: true} }
+
+// Append adds records to the store.
+func (s *Store) Append(records ...ViewRecord) {
+	if len(records) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, records...)
+	s.sorted = false
+}
+
+// Len returns the number of records stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// ensureSorted orders records by timestamp. Callers must hold mu for
+// writing.
+func (s *Store) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.SliceStable(s.records, func(i, j int) bool {
+		return s.records[i].Timestamp.Before(s.records[j].Timestamp)
+	})
+	s.sorted = true
+}
+
+// Window returns the records whose timestamps fall inside the snapshot,
+// as a copy safe to retain.
+func (s *Store) Window(snap simclock.Snapshot) []ViewRecord {
+	s.mu.Lock()
+	s.ensureSorted()
+	recs := s.records
+	s.mu.Unlock()
+
+	lo := sort.Search(len(recs), func(i int) bool {
+		return !recs[i].Timestamp.Before(snap.Start)
+	})
+	hi := sort.Search(len(recs), func(i int) bool {
+		return !recs[i].Timestamp.Before(snap.End())
+	})
+	out := make([]ViewRecord, hi-lo)
+	copy(out, recs[lo:hi])
+	return out
+}
+
+// All returns a copy of every record in timestamp order.
+func (s *Store) All() []ViewRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted()
+	out := make([]ViewRecord, len(s.records))
+	copy(out, s.records)
+	return out
+}
+
+// Select returns the records matching keep, in timestamp order.
+func (s *Store) Select(keep func(*ViewRecord) bool) []ViewRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted()
+	var out []ViewRecord
+	for i := range s.records {
+		if keep(&s.records[i]) {
+			out = append(out, s.records[i])
+		}
+	}
+	return out
+}
+
+// Publishers returns the distinct publisher IDs present, sorted.
+func (s *Store) Publishers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]struct{})
+	for i := range s.records {
+		set[s.records[i].Publisher] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalViewHours sums view-hours over the whole store.
+func (s *Store) TotalViewHours() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0.0
+	for i := range s.records {
+		total += s.records[i].ViewHours()
+	}
+	return total
+}

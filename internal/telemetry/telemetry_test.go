@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vmp/internal/simclock"
+)
+
+func rec(pub string, dayOffset int, viewSec float64) ViewRecord {
+	return ViewRecord{
+		Timestamp: simclock.DayTime(dayOffset),
+		Publisher: pub,
+		VideoID:   "v1",
+		URL:       "http://cdn-a/p/v1.m3u8",
+		Device:    "Roku",
+		OS:        "RokuOS",
+		SDK:       "RokuSDK",
+		CDNs:      []string{"A"},
+		Bitrates:  []int{400, 800},
+		ViewSec:   viewSec,
+	}
+}
+
+func TestViewHours(t *testing.T) {
+	r := rec("p1", 0, 1800)
+	if got := r.ViewHours(); got != 0.5 {
+		t.Fatalf("ViewHours = %v, want 0.5", got)
+	}
+	if got := r.Views(); got != 1 {
+		t.Fatalf("unweighted Views = %v, want 1", got)
+	}
+	r.Weight = 40
+	if got := r.ViewHours(); got != 20 {
+		t.Fatalf("weighted ViewHours = %v, want 20", got)
+	}
+	if got := r.Views(); got != 40 {
+		t.Fatalf("Views = %v, want 40", got)
+	}
+}
+
+func TestTotalViewHoursWeighted(t *testing.T) {
+	s := NewStore()
+	r := rec("p1", 0, 3600)
+	r.Weight = 3
+	s.Append(r)
+	if got := s.TotalViewHours(); got != 3 {
+		t.Fatalf("TotalViewHours = %v, want 3", got)
+	}
+}
+
+func TestAppView(t *testing.T) {
+	r := rec("p1", 0, 60)
+	if !r.AppView() {
+		t.Error("record with SDK should be an app view")
+	}
+	r.SDK = ""
+	r.UserAgent = "Mozilla/5.0"
+	if r.AppView() {
+		t.Error("record without SDK is a browser view")
+	}
+}
+
+func TestStoreWindow(t *testing.T) {
+	s := NewStore()
+	// Out-of-order appends must still window correctly.
+	s.Append(rec("p1", 15, 100))
+	s.Append(rec("p1", 0, 100), rec("p2", 1, 200))
+	s.Append(rec("p3", 14, 300))
+	sched := simclock.DefaultSchedule()
+	w0 := s.Window(sched[0]) // days 0-1
+	if len(w0) != 2 {
+		t.Fatalf("window 0 has %d records, want 2", len(w0))
+	}
+	w1 := s.Window(sched[1]) // days 14-15
+	if len(w1) != 2 {
+		t.Fatalf("window 1 has %d records, want 2", len(w1))
+	}
+	if !w1[0].Timestamp.Before(w1[1].Timestamp) {
+		t.Error("window records not time-ordered")
+	}
+}
+
+func TestStoreWindowCopyIsSafe(t *testing.T) {
+	s := NewStore()
+	s.Append(rec("p1", 0, 100))
+	w := s.Window(simclock.DefaultSchedule()[0])
+	w[0].Publisher = "mutated"
+	if s.All()[0].Publisher != "p1" {
+		t.Fatal("Window leaked internal storage")
+	}
+}
+
+func TestStorePublishersAndTotals(t *testing.T) {
+	s := NewStore()
+	s.Append(rec("pb", 0, 3600), rec("pa", 1, 7200), rec("pb", 2, 3600))
+	pubs := s.Publishers()
+	if len(pubs) != 2 || pubs[0] != "pa" || pubs[1] != "pb" {
+		t.Fatalf("Publishers = %v", pubs)
+	}
+	if got := s.TotalViewHours(); got != 4 {
+		t.Fatalf("TotalViewHours = %v, want 4", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreSelect(t *testing.T) {
+	s := NewStore()
+	s.Append(rec("p1", 0, 100), rec("p2", 1, 100), rec("p1", 2, 100))
+	got := s.Select(func(r *ViewRecord) bool { return r.Publisher == "p1" })
+	if len(got) != 2 {
+		t.Fatalf("Select returned %d, want 2", len(got))
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Append(rec(fmt.Sprintf("p%d", g), i%100, 60))
+				if i%10 == 0 {
+					s.Window(simclock.DefaultSchedule()[0])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8*200 {
+		t.Fatalf("Len = %d, want 1600", s.Len())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []ViewRecord{rec("p1", 0, 100), rec("p2", 3, 250)}
+	in[0].Syndicated = true
+	in[0].Owner = "p9"
+	in[0].ContentID = "c7"
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("decoded %d records", len(out))
+	}
+	if !out[0].Syndicated || out[0].Owner != "p9" || out[0].ContentID != "c7" {
+		t.Fatalf("syndication fields lost: %+v", out[0])
+	}
+	if !out[0].Timestamp.Equal(in[0].Timestamp) {
+		t.Error("timestamp did not round-trip")
+	}
+}
+
+func TestDecodeJSONLBadInput(t *testing.T) {
+	_, err := DecodeJSONL(strings.NewReader("{\"pub\":\"p\"}\nnot json\n"))
+	if err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+}
+
+func TestCollectorIngest(t *testing.T) {
+	col := NewCollector(nil)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, []ViewRecord{rec("p1", 0, 100), rec("p2", 1, 50)}); err != nil {
+		t.Fatal(err)
+	}
+	// Include a malformed line and a record without a publisher.
+	buf.WriteString("garbage\n{\"viewsec\":3}\n")
+	resp, err := http.Post(srv.URL+"/v1/views", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if col.Store().Len() != 2 {
+		t.Fatalf("stored %d records, want 2", col.Store().Len())
+	}
+
+	stats, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var body bytes.Buffer
+	body.ReadFrom(stats.Body)
+	for _, want := range []string{`"ingested":2`, `"rejected":2`, `"stored":2`} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("stats missing %s: %s", want, body.String())
+		}
+	}
+}
+
+func TestCollectorMethodChecks(t *testing.T) {
+	col := NewCollector(nil)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/views = %s", resp.Status)
+	}
+	resp, err = http.Post(srv.URL+"/v1/stats", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/stats = %s", resp.Status)
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	col := NewCollector(nil)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	a := rec("p1", 0, 3600)         // 1 VH, HLS, Roku
+	b := rec("p2", 1, 3600)         // 1 VH
+	b.URL = "http://cdn-b/p/v1.mpd" // DASH
+	b.Device = "AndroidPhone"
+	b.Live = true
+	b.Failed = true
+	col.Store().Append(a, b)
+
+	s := col.Summarize()
+	if s.Records != 2 || s.Publishers != 2 || s.ViewHours != 2 {
+		t.Fatalf("summary totals wrong: %+v", s)
+	}
+	if s.ProtocolVHPct["HLS"] != 50 || s.ProtocolVHPct["DASH"] != 50 {
+		t.Fatalf("protocol shares wrong: %+v", s.ProtocolVHPct)
+	}
+	if s.DeviceVHPct["Roku"] != 50 {
+		t.Fatalf("device shares wrong: %+v", s.DeviceVHPct)
+	}
+	if s.LiveVHPct != 50 || s.FailedViewsPct != 50 {
+		t.Fatalf("live/failed shares wrong: %+v", s)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Summary
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Records != 2 || got.ProtocolVHPct["DASH"] != 50 {
+		t.Fatalf("HTTP summary = %+v", got)
+	}
+	// Method check.
+	post, err := http.Post(srv.URL+"/v1/summary", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /v1/summary = %s", post.Status)
+	}
+}
+
+func TestSummaryEmptyStore(t *testing.T) {
+	s := NewCollector(nil).Summarize()
+	if s.Records != 0 || s.ViewHours != 0 || s.LiveVHPct != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSensorBatchingAndFlush(t *testing.T) {
+	col := NewCollector(nil)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	sensor := NewSensor(srv.URL+"/v1/views", srv.Client(), 3)
+	for i := 0; i < 2; i++ {
+		if err := sensor.Report(rec("p1", i, 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if col.Store().Len() != 0 || sensor.Pending() != 2 {
+		t.Fatal("sensor flushed before batch was full")
+	}
+	if err := sensor.Report(rec("p1", 2, 60)); err != nil {
+		t.Fatal(err) // third report triggers auto-flush
+	}
+	if col.Store().Len() != 3 || sensor.Pending() != 0 {
+		t.Fatalf("auto-flush failed: stored=%d pending=%d", col.Store().Len(), sensor.Pending())
+	}
+	// Explicit flush of an empty batch is a no-op.
+	if err := sensor.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSensorCollectorDown(t *testing.T) {
+	sensor := NewSensor("http://127.0.0.1:1/v1/views", &http.Client{Timeout: 200 * time.Millisecond}, 1)
+	if err := sensor.Report(rec("p1", 0, 60)); err == nil {
+		t.Fatal("report to a dead collector should error")
+	}
+}
+
+func TestNewSensorDefaults(t *testing.T) {
+	s := NewSensor("http://x", nil, 0)
+	if s.client == nil || s.batchMax != 100 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}

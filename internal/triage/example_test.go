@@ -1,0 +1,30 @@
+package triage_test
+
+import (
+	"fmt"
+
+	"vmp/internal/triage"
+)
+
+// ExampleTriager_Localize aggregates failure reports across
+// management-plane combinations and localizes a CDN×protocol
+// interaction bug.
+func ExampleTriager_Localize() {
+	tr := triage.NewTriager()
+	devices := []string{"Roku", "iPhone", "HTML5"}
+	for i := 0; i < 3000; i++ {
+		c := triage.Combination{
+			CDN:      []string{"A", "B"}[i%2],
+			Protocol: []string{"HLS", "DASH"}[(i/2)%2],
+			Device:   devices[i%3],
+		}
+		// CDN B's DASH packaging is broken; everything else is healthy.
+		failed := c.CDN == "B" && c.Protocol == "DASH" && i%3 != 0
+		tr.Observe(c, failed)
+	}
+	for _, f := range tr.Localize(triage.Config{}) {
+		fmt.Printf("%s: %.0f%% failure rate\n", f.Combination, 100*f.FailureRate)
+	}
+	// Output:
+	// cdn=B proto=DASH: 67% failure rate
+}

@@ -1,0 +1,92 @@
+package triage
+
+import (
+	"fmt"
+
+	"vmp/internal/dist"
+	"vmp/internal/manifest"
+	"vmp/internal/telemetry"
+)
+
+// Matches reports whether the (possibly partial) combination covers a
+// fully specified one.
+func (c Combination) Matches(full Combination) bool {
+	return c == full || c.generalizes(full)
+}
+
+// Fault is an injected failure cause: traffic matching the combination
+// fails with the given probability (in addition to the base rate).
+type Fault struct {
+	Match    Combination
+	FailProb float64
+}
+
+// Injector stamps Failed flags onto view records: a base failure rate
+// for all traffic plus elevated rates for specific management-plane
+// combinations. It is the test harness's stand-in for the bugs §5
+// describes (a CDN outage, a broken protocol implementation, a
+// device-SDK interaction).
+type Injector struct {
+	BaseRate float64
+	Faults   []Fault
+	src      *dist.Source
+}
+
+// NewInjector builds an injector with deterministic randomness.
+func NewInjector(baseRate float64, src *dist.Source, faults ...Fault) (*Injector, error) {
+	if baseRate < 0 || baseRate > 1 {
+		return nil, fmt.Errorf("triage: base rate %v out of [0,1]", baseRate)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("triage: nil randomness source")
+	}
+	for _, f := range faults {
+		if f.FailProb < 0 || f.FailProb > 1 {
+			return nil, fmt.Errorf("triage: fault %v probability %v out of [0,1]", f.Match, f.FailProb)
+		}
+		if f.Match.Arity() == 0 {
+			return nil, fmt.Errorf("triage: fault must pin at least one attribute")
+		}
+	}
+	return &Injector{BaseRate: baseRate, Faults: faults, src: src}, nil
+}
+
+// Apply stamps failures onto the records in place and returns how many
+// views failed. A record fails if the base-rate draw or any matching
+// fault's draw fires.
+func (inj *Injector) Apply(recs []telemetry.ViewRecord) int {
+	failed := 0
+	for i := range recs {
+		r := &recs[i]
+		full := Combination{
+			Protocol: manifest.InferProtocol(r.URL).String(),
+			Device:   r.Device,
+		}
+		if len(r.CDNs) > 0 {
+			full.CDN = r.CDNs[0]
+		}
+		fail := inj.src.Bool(inj.BaseRate)
+		for _, f := range inj.Faults {
+			if f.Match.Matches(full) && inj.src.Bool(f.FailProb) {
+				fail = true
+			}
+		}
+		r.Failed = fail
+		if fail {
+			failed++
+		}
+	}
+	return failed
+}
+
+// Run ingests records into a fresh triager and localizes, the
+// end-to-end triaging pipeline.
+func Run(recs []telemetry.ViewRecord, cfg Config) ([]Finding, *Triager, error) {
+	t := NewTriager()
+	for i := range recs {
+		if err := t.ObserveRecord(&recs[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return t.Localize(cfg), t, nil
+}

@@ -1,0 +1,308 @@
+// Package triage implements failure triaging across management-plane
+// combinations, the §5 task that motivates the combinations complexity
+// metric: "A failure can be caused by one of the components (e.g., CDN
+// or protocol), an interaction between two components (e.g., a
+// specific CDN's implementation of HLS), or an interaction across all
+// three components... Conviva triages failures automatically by
+// aggregating failure reports across all management plane
+// combinations."
+//
+// The triager aggregates per-view failure reports over every
+// projection of the (CDN, protocol, device) triple and localizes root
+// causes as the most general combinations whose failure rate is
+// anomalously high — a hierarchical heavy-hitter search over the
+// combination lattice.
+package triage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vmp/internal/manifest"
+	"vmp/internal/telemetry"
+)
+
+// Combination identifies a slice of the management plane: any subset
+// of {CDN, protocol, device}, with empty strings as wildcards. The
+// zero value matches all traffic.
+type Combination struct {
+	CDN      string
+	Protocol string
+	Device   string
+}
+
+// String renders the combination compactly, e.g. "cdn=C proto=HLS".
+func (c Combination) String() string {
+	if c == (Combination{}) {
+		return "(all traffic)"
+	}
+	out := ""
+	if c.CDN != "" {
+		out += "cdn=" + c.CDN + " "
+	}
+	if c.Protocol != "" {
+		out += "proto=" + c.Protocol + " "
+	}
+	if c.Device != "" {
+		out += "device=" + c.Device + " "
+	}
+	return out[:len(out)-1]
+}
+
+// Arity returns how many attributes the combination pins (0-3).
+func (c Combination) Arity() int {
+	n := 0
+	if c.CDN != "" {
+		n++
+	}
+	if c.Protocol != "" {
+		n++
+	}
+	if c.Device != "" {
+		n++
+	}
+	return n
+}
+
+// generalizes reports whether g matches a superset of c's traffic: g's
+// pinned attributes are a subset of c's with equal values.
+func (g Combination) generalizes(c Combination) bool {
+	if g.CDN != "" && g.CDN != c.CDN {
+		return false
+	}
+	if g.Protocol != "" && g.Protocol != c.Protocol {
+		return false
+	}
+	if g.Device != "" && g.Device != c.Device {
+		return false
+	}
+	return g != c
+}
+
+// projections enumerates the 7 non-empty projections of a fully
+// specified combination.
+func projections(full Combination) []Combination {
+	return []Combination{
+		{CDN: full.CDN},
+		{Protocol: full.Protocol},
+		{Device: full.Device},
+		{CDN: full.CDN, Protocol: full.Protocol},
+		{CDN: full.CDN, Device: full.Device},
+		{Protocol: full.Protocol, Device: full.Device},
+		full,
+	}
+}
+
+// Triager aggregates view outcomes per combination. It is safe for
+// concurrent use.
+type Triager struct {
+	mu       sync.Mutex
+	views    map[Combination]int64
+	failures map[Combination]int64
+	total    int64
+	failed   int64
+}
+
+// NewTriager returns an empty aggregator.
+func NewTriager() *Triager {
+	return &Triager{
+		views:    make(map[Combination]int64),
+		failures: make(map[Combination]int64),
+	}
+}
+
+// Observe records one view's outcome for a fully specified
+// combination. Partially specified combinations are rejected: triaging
+// needs full context per view.
+func (t *Triager) Observe(full Combination, failed bool) error {
+	if full.Arity() != 3 {
+		return fmt.Errorf("triage: Observe needs a fully specified combination, got %v", full)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if failed {
+		t.failed++
+	}
+	for _, p := range projections(full) {
+		t.views[p]++
+		if failed {
+			t.failures[p]++
+		}
+	}
+	return nil
+}
+
+// ObserveRecord feeds one telemetry record, deriving the combination
+// from the record's first CDN, inferred protocol, and device model.
+func (t *Triager) ObserveRecord(r *telemetry.ViewRecord) error {
+	if len(r.CDNs) == 0 {
+		return fmt.Errorf("triage: record without CDN")
+	}
+	return t.Observe(Combination{
+		CDN:      r.CDNs[0],
+		Protocol: manifest.InferProtocol(r.URL).String(),
+		Device:   r.Device,
+	}, r.Failed)
+}
+
+// BaselineRate returns the overall failure rate.
+func (t *Triager) BaselineRate() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total == 0 {
+		return 0
+	}
+	return float64(t.failed) / float64(t.total)
+}
+
+// Views returns the observed view count for a combination.
+func (t *Triager) Views(c Combination) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.views[c]
+}
+
+// Finding is one localized root cause.
+type Finding struct {
+	Combination Combination
+	Views       int64
+	Failures    int64
+	FailureRate float64
+	// LiftOverBaseline is FailureRate divided by the failure rate of
+	// the slice's complement (all other traffic), so a large faulty
+	// slice does not dilute its own anomaly signal.
+	LiftOverBaseline float64
+}
+
+// Config tunes localization.
+type Config struct {
+	// MinSupport is the minimum views a combination needs before it
+	// can be reported (guards against noise); zero defaults to 50.
+	MinSupport int64
+	// MinLift is the failure-rate multiple over baseline that makes a
+	// combination anomalous; zero defaults to 3.
+	MinLift float64
+	// MinRate is an absolute failure-rate floor; zero defaults to 0.05.
+	MinRate float64
+}
+
+func (c *Config) defaults() {
+	if c.MinSupport <= 0 {
+		c.MinSupport = 50
+	}
+	if c.MinLift <= 0 {
+		c.MinLift = 3
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = 0.05
+	}
+}
+
+// Localize reports the root-cause combinations: anomalous slices whose
+// anomaly is not explained by any more general anomalous slice. The
+// result is ordered by lift, highest first.
+func (t *Triager) Localize(cfg Config) []Finding {
+	cfg.defaults()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total == 0 {
+		return nil
+	}
+	var anomalous []Finding
+	for c, v := range t.views {
+		if v < cfg.MinSupport {
+			continue
+		}
+		rate := float64(t.failures[c]) / float64(v)
+		if rate < cfg.MinRate {
+			continue
+		}
+		// Compare against the complement: the failure rate of all
+		// traffic outside this slice.
+		restViews := t.total - v
+		restFailures := t.failed - t.failures[c]
+		restRate := 0.0
+		if restViews > 0 {
+			restRate = float64(restFailures) / float64(restViews)
+		}
+		if restRate <= 0 {
+			restRate = 0.5 / float64(t.total) // no healthy failures: any rate is anomalous
+		}
+		if rate < cfg.MinLift*restRate {
+			continue
+		}
+		anomalous = append(anomalous, Finding{
+			Combination:      c,
+			Views:            v,
+			Failures:         t.failures[c],
+			FailureRate:      rate,
+			LiftOverBaseline: rate / restRate,
+		})
+	}
+	// Two-way minimality over the combination lattice:
+	//
+	//  1. A specific finding is explained by a generalization with a
+	//     comparable failure rate ("cdn=B proto=HLS" adds nothing when
+	//     all of CDN B is down).
+	//  2. A general finding is explained by a specific descendant when
+	//     removing the descendant's traffic de-anomalizes the rest
+	//     ("device=Chromecast" adds nothing when the failures are all
+	//     inside one CDN×protocol×Chromecast interaction).
+	var out []Finding
+	for _, f := range anomalous {
+		explained := false
+		for _, g := range anomalous {
+			if g.Combination.generalizes(f.Combination) && g.FailureRate >= 0.6*f.FailureRate {
+				explained = true // rule 1
+				break
+			}
+			if f.Combination.generalizes(g.Combination) {
+				// Rule 2: residual slice after carving out descendant g.
+				resViews := f.Views - g.Views
+				if resViews <= 0 {
+					// Coextensive slices: rule 1 drops the specific
+					// one; the general survives as the explanation.
+					continue
+				}
+				resRate := float64(f.Failures-g.Failures) / float64(resViews)
+				restViews := t.total - f.Views
+				restRate := 0.0
+				if restViews > 0 {
+					restRate = float64(t.failed-f.Failures) / float64(restViews)
+				}
+				if resRate < cfg.MinRate || resRate < cfg.MinLift*maxf(restRate, 0.5/float64(t.total)) {
+					explained = true
+					break
+				}
+			}
+		}
+		if !explained {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LiftOverBaseline != out[j].LiftOverBaseline {
+			return out[i].LiftOverBaseline > out[j].LiftOverBaseline
+		}
+		return out[i].Combination.String() < out[j].Combination.String()
+	})
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CombinationsTracked returns how many distinct combinations the
+// triager has seen — the §5 intuition that triaging cost grows with
+// the management plane's combination count.
+func (t *Triager) CombinationsTracked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.views)
+}

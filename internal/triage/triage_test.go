@@ -1,0 +1,315 @@
+package triage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vmp/internal/dist"
+	"vmp/internal/ecosystem"
+	"vmp/internal/telemetry"
+)
+
+func TestCombinationString(t *testing.T) {
+	cases := map[string]Combination{
+		"(all traffic)":                {},
+		"cdn=C":                        {CDN: "C"},
+		"proto=HLS device=Roku":        {Protocol: "HLS", Device: "Roku"},
+		"cdn=A proto=DASH device=Xbox": {CDN: "A", Protocol: "DASH", Device: "Xbox"},
+	}
+	for want, c := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCombinationArityAndGeneralizes(t *testing.T) {
+	full := Combination{CDN: "C", Protocol: "Smooth", Device: "Chromecast"}
+	if full.Arity() != 3 {
+		t.Fatal("arity wrong")
+	}
+	for _, g := range []Combination{
+		{CDN: "C"}, {Protocol: "Smooth"},
+		{CDN: "C", Protocol: "Smooth"}, {CDN: "C", Device: "Chromecast"},
+	} {
+		if !g.generalizes(full) {
+			t.Errorf("%v should generalize %v", g, full)
+		}
+	}
+	for _, g := range []Combination{
+		full,                        // equality is not generalization
+		{CDN: "A"},                  // wrong value
+		{Protocol: "HLS"},           // wrong value
+		{CDN: "C", Protocol: "HLS"}, // partially wrong
+	} {
+		if g.generalizes(full) {
+			t.Errorf("%v should not generalize %v", g, full)
+		}
+	}
+	if !(Combination{CDN: "C"}).Matches(full) || !full.Matches(full) {
+		t.Error("Matches should cover equality and generalization")
+	}
+}
+
+func TestObserveRequiresFullCombination(t *testing.T) {
+	tr := NewTriager()
+	if err := tr.Observe(Combination{CDN: "A"}, false); err == nil {
+		t.Fatal("partial combination accepted")
+	}
+	if err := tr.Observe(Combination{CDN: "A", Protocol: "HLS", Device: "Roku"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if tr.BaselineRate() != 1 {
+		t.Fatalf("baseline = %v, want 1", tr.BaselineRate())
+	}
+	// One observation creates 7 projections.
+	if got := tr.CombinationsTracked(); got != 7 {
+		t.Fatalf("tracked %d combinations, want 7", got)
+	}
+}
+
+// synthView fabricates a record for a combination.
+func synthView(cdn, proto, dev string) telemetry.ViewRecord {
+	url := "http://cdn/x.m3u8"
+	switch proto {
+	case "DASH":
+		url = "http://cdn/x.mpd"
+	case "SmoothStreaming":
+		url = "http://cdn/x.ism/manifest"
+	case "HDS":
+		url = "http://cdn/x.f4m"
+	}
+	return telemetry.ViewRecord{
+		Publisher: "p", VideoID: "v", URL: url,
+		Device: dev, CDNs: []string{cdn}, ViewSec: 60,
+	}
+}
+
+// population builds a balanced traffic mix over combinations.
+func population(n int) []telemetry.ViewRecord {
+	cdns := []string{"A", "B", "C"}
+	protos := []string{"HLS", "DASH", "SmoothStreaming"}
+	devs := []string{"Roku", "Chromecast", "iPhone", "HTML5"}
+	out := make([]telemetry.ViewRecord, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, synthView(cdns[i%3], protos[(i/3)%3], devs[(i/9)%4]))
+	}
+	return out
+}
+
+// TestLocalizeTripleInteraction reproduces the paper's example: "a
+// failure caused by the interaction between a Chromecast
+// implementation using SmoothStreaming on a specific CDN". Only the
+// triple is faulty; the triager must report the triple, not its parts.
+func TestLocalizeTripleInteraction(t *testing.T) {
+	recs := population(36000)
+	inj, err := NewInjector(0.01, dist.NewSource(3), Fault{
+		Match:    Combination{CDN: "C", Protocol: "SmoothStreaming", Device: "Chromecast"},
+		FailProb: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Apply(recs)
+	findings, tr, err := Run(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings")
+	}
+	top := findings[0]
+	want := Combination{CDN: "C", Protocol: "SmoothStreaming", Device: "Chromecast"}
+	if top.Combination != want {
+		t.Fatalf("top finding = %v, want %v (all findings: %v)", top.Combination, want, findings)
+	}
+	if top.LiftOverBaseline < 3 {
+		t.Fatalf("lift = %v, want large", top.LiftOverBaseline)
+	}
+	// No finding should be a bare single attribute: the pairs/singles
+	// containing the faulty triple are diluted by healthy traffic.
+	for _, f := range findings {
+		if f.Combination.Arity() == 1 {
+			t.Fatalf("over-general finding %v", f.Combination)
+		}
+	}
+	if tr.BaselineRate() <= 0 {
+		t.Fatal("baseline should be positive")
+	}
+}
+
+// TestLocalizeSingleCDNOutage: a whole-CDN fault must be reported at
+// the CDN level, not exploded into its sub-combinations.
+func TestLocalizeSingleCDNOutage(t *testing.T) {
+	recs := population(36000)
+	inj, err := NewInjector(0.01, dist.NewSource(5), Fault{
+		Match:    Combination{CDN: "B"},
+		FailProb: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Apply(recs)
+	findings, _, err := Run(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the CDN", findings)
+	}
+	if findings[0].Combination != (Combination{CDN: "B"}) {
+		t.Fatalf("finding = %v, want cdn=B", findings[0].Combination)
+	}
+}
+
+// TestLocalizePairInteraction: a CDN×protocol bug surfaces as the pair.
+func TestLocalizePairInteraction(t *testing.T) {
+	recs := population(36000)
+	inj, err := NewInjector(0.01, dist.NewSource(7), Fault{
+		Match:    Combination{CDN: "A", Protocol: "HLS"},
+		FailProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Apply(recs)
+	findings, _, err := Run(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 || findings[0].Combination != (Combination{CDN: "A", Protocol: "HLS"}) {
+		t.Fatalf("findings = %v, want cdn=A proto=HLS first", findings)
+	}
+}
+
+// TestLocalizeHealthyTraffic: uniform failures yield no findings.
+func TestLocalizeHealthyTraffic(t *testing.T) {
+	recs := population(20000)
+	inj, err := NewInjector(0.02, dist.NewSource(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Apply(recs)
+	findings, _, err := Run(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("healthy traffic produced findings: %v", findings)
+	}
+}
+
+func TestLocalizeEmpty(t *testing.T) {
+	if got := NewTriager().Localize(Config{}); got != nil {
+		t.Fatalf("empty triager localized %v", got)
+	}
+}
+
+func TestLocalizeMinSupport(t *testing.T) {
+	tr := NewTriager()
+	// A tiny, fully failing slice below the support threshold.
+	for i := 0; i < 10; i++ {
+		tr.Observe(Combination{CDN: "A", Protocol: "HLS", Device: "Roku"}, true)
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Observe(Combination{CDN: "B", Protocol: "DASH", Device: "Xbox"}, false)
+	}
+	if got := tr.Localize(Config{MinSupport: 50}); len(got) != 0 {
+		t.Fatalf("under-supported slice reported: %v", got)
+	}
+	if got := tr.Localize(Config{MinSupport: 5}); len(got) == 0 {
+		t.Fatal("lowering support should surface the slice")
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	src := dist.NewSource(1)
+	if _, err := NewInjector(-0.1, src); err == nil {
+		t.Error("negative base rate accepted")
+	}
+	if _, err := NewInjector(0.1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewInjector(0.1, src, Fault{Match: Combination{}, FailProb: 0.5}); err == nil {
+		t.Error("wildcard fault accepted")
+	}
+	if _, err := NewInjector(0.1, src, Fault{Match: Combination{CDN: "A"}, FailProb: 2}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+}
+
+func TestObserveRecordRequiresCDN(t *testing.T) {
+	tr := NewTriager()
+	rec := synthView("A", "HLS", "Roku")
+	rec.CDNs = nil
+	if err := tr.ObserveRecord(&rec); err == nil {
+		t.Fatal("record without CDN accepted")
+	}
+}
+
+// TestTriageOnEcosystemRecords runs the triager on real generated
+// records with an injected CDN fault and verifies localization.
+func TestTriageOnEcosystemRecords(t *testing.T) {
+	e := ecosystem.New(ecosystem.Config{SnapshotStride: 59})
+	recs := e.GenerateSnapshot(e.Schedule.Latest())
+	inj, err := NewInjector(0.01, dist.NewSource(13), Fault{
+		Match:    Combination{CDN: "D"},
+		FailProb: 0.45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Apply(recs)
+	findings, _, err := Run(recs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range findings {
+		if f.Combination == (Combination{CDN: "D"}) {
+			found = true
+		}
+		if f.Combination.CDN != "D" && f.Combination.CDN != "" {
+			t.Errorf("spurious finding %v", f.Combination)
+		}
+	}
+	if !found {
+		t.Fatalf("CDN D fault not localized; findings = %v", findings)
+	}
+}
+
+// Property: the triager's projection counts are consistent — every
+// projection of an observed combination has at least as many views as
+// the full combination.
+func TestProjectionMonotonicityProperty(t *testing.T) {
+	tr := NewTriager()
+	src := dist.NewSource(21)
+	cdns := []string{"A", "B"}
+	protos := []string{"HLS", "DASH"}
+	devs := []string{"Roku", "Xbox"}
+	f := func(n uint8) bool {
+		for i := 0; i < int(n); i++ {
+			c := Combination{
+				CDN:      cdns[src.Intn(2)],
+				Protocol: protos[src.Intn(2)],
+				Device:   devs[src.Intn(2)],
+			}
+			tr.Observe(c, src.Bool(0.1))
+		}
+		for _, cdn := range cdns {
+			for _, p := range protos {
+				full := Combination{CDN: cdn, Protocol: p, Device: "Roku"}
+				if tr.Views(Combination{CDN: cdn}) < tr.Views(full) {
+					return false
+				}
+				if tr.Views(Combination{CDN: cdn, Protocol: p}) < tr.Views(full) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
