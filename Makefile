@@ -1,0 +1,31 @@
+GO ?= go
+
+# Tier-1 verification: build, full test suite, formatting, vet, and the
+# race detector on the packages that run goroutines (the parallel study
+# runner and its substrates).
+.PHONY: verify
+verify: build test fmt-check vet race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: fmt-check
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./internal/core/... ./internal/ecosystem/... ./internal/telemetry/...
+
+.PHONY: bench
+bench:
+	$(GO) test -run xxx -bench BenchmarkFullStudy -benchtime 5x .

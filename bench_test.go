@@ -23,6 +23,7 @@ import (
 	"vmp/internal/player"
 	"vmp/internal/simclock"
 	"vmp/internal/syndication"
+	"vmp/internal/telemetry"
 	"vmp/internal/triage"
 )
 
@@ -644,10 +645,49 @@ func BenchmarkTriageLocalization(b *testing.B) {
 // BenchmarkRenderAll measures end-to-end rendering of the whole study.
 func BenchmarkRenderAll(b *testing.B) {
 	s := benchSetup(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.RenderAll(io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+var (
+	fullStudyOnce  sync.Once
+	fullStudyStore *telemetry.Store
+)
+
+// fullStudyConfig mirrors benchSetup's strided study.
+var fullStudyConfig = vmp.Config{SnapshotStride: 6, QoESessions: 40}
+
+// BenchmarkFullStudy measures the complete cold-start analysis path —
+// freeze, every figure computation, full render — with a fresh study
+// per iteration over one pre-generated record store, so memoization
+// inside a single run counts but nothing carries across iterations.
+// The serial and parallel sub-benchmarks produce byte-identical output
+// (see core.TestRenderAllParallelByteIdentical).
+func BenchmarkFullStudy(b *testing.B) {
+	fullStudyOnce.Do(func() {
+		fullStudyStore = vmp.New(fullStudyConfig).Store()
+	})
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := vmp.NewFromStore(fullStudyConfig, fullStudyStore)
+			if err := s.RenderAll(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := vmp.NewFromStore(fullStudyConfig, fullStudyStore)
+			if err := s.RenderAllParallel(io.Discard, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

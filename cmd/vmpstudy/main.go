@@ -8,28 +8,51 @@
 //	vmpstudy -figure 18 -o fig18.txt
 //
 // The -stride flag thins the bi-weekly snapshot schedule for quick
-// runs; -seed changes the synthetic population.
+// runs; -seed changes the synthetic population. With -figure all the
+// figures are computed on a worker pool (-workers); output is
+// byte-identical to a serial run. -cpuprofile and -memprofile write
+// pprof profiles for performance work.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vmp"
 )
 
+// errScorecardFailed signals a non-zero exit without a message (the
+// failures are already in the rendered scorecard), letting run()'s
+// defers — profile writers, output files — complete first.
+var errScorecardFailed = errors.New("scorecard failures")
+
 func main() {
+	if err := run(); err != nil {
+		if !errors.Is(err, errScorecardFailed) {
+			fmt.Fprintln(os.Stderr, "vmpstudy:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		figure    = flag.String("figure", "all", "table/figure ID to regenerate, or 'all'")
-		seed      = flag.Uint64("seed", 0, "population seed (0 = default)")
-		stride    = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
-		sessions  = flag.Int("sessions", 150, "playback sessions per publisher for Figs 15/16")
-		out       = flag.String("o", "", "output file (default stdout)")
-		format    = flag.String("format", "text", "output format: text or csv")
-		list      = flag.Bool("list", false, "list figure IDs and exit")
-		scorecard = flag.Bool("scorecard", false, "render the paper-vs-measured scorecard and exit non-zero on failures")
+		figure     = flag.String("figure", "all", "table/figure ID to regenerate, or 'all'")
+		seed       = flag.Uint64("seed", 0, "population seed (0 = default)")
+		stride     = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
+		sessions   = flag.Int("sessions", 150, "playback sessions per publisher for Figs 15/16")
+		out        = flag.String("o", "", "output file (default stdout)")
+		format     = flag.String("format", "text", "output format: text or csv")
+		list       = flag.Bool("list", false, "list figure IDs and exit")
+		scorecard  = flag.Bool("scorecard", false, "render the paper-vs-measured scorecard and exit non-zero on failures")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for -figure all (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -37,14 +60,39 @@ func main() {
 		for _, id := range vmp.Figures {
 			fmt.Println(id)
 		}
-		return
+		return nil
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vmpstudy: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -54,36 +102,28 @@ func main() {
 	if *scorecard {
 		failures, err := study.RenderScorecard(w)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if failures > 0 {
-			os.Exit(1)
+			return errScorecardFailed
 		}
-		return
+		return nil
 	}
-	var err error
 	switch *format {
 	case "text":
 		if *figure == "all" {
-			err = study.RenderAll(w)
-		} else {
-			err = study.Render(w, *figure)
+			if *workers > 1 {
+				return study.RenderAllParallel(w, *workers)
+			}
+			return study.RenderAll(w)
 		}
+		return study.Render(w, *figure)
 	case "csv":
 		if *figure == "all" {
-			err = fmt.Errorf("-format csv requires a single -figure")
-		} else {
-			err = study.RenderCSV(w, *figure)
+			return fmt.Errorf("-format csv requires a single -figure")
 		}
+		return study.RenderCSV(w, *figure)
 	default:
-		err = fmt.Errorf("unknown format %q", *format)
+		return fmt.Errorf("unknown format %q", *format)
 	}
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vmpstudy:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,342 @@
+package analytics
+
+// Frozen-dataset ports of the §4 hot loops. The legacy functions in
+// analytics.go scan a mutable Store, copying every snapshot window and
+// accumulating into string-keyed maps; the functions here run over a
+// telemetry.Dataset — immutable, timestamp-sorted, with interned
+// dimension IDs — so windows are zero-copy sub-ranges and accumulation
+// is ID-indexed slice arithmetic. AnalyzeDim additionally fuses the
+// publishers / view-hours / views / instance-average passes that each
+// rescanned the same windows into one pass per window. Results match
+// the legacy functions (integer-derived percentages exactly; sums that
+// legacy code accumulated in randomized map order agree to rounding).
+
+import (
+	"sort"
+
+	"vmp/internal/simclock"
+	"vmp/internal/stats"
+	"vmp/internal/telemetry"
+)
+
+// DimBundle holds every per-snapshot series the §4 figure families
+// derive from one dimension: publisher shares (Figs 2a/7/11a),
+// view-hour shares (2b/6a/11b), view shares (6c), and instance-count
+// averages (3c/9c/12c).
+type DimBundle struct {
+	Publishers *TimeSeries
+	ViewHours  *TimeSeries
+	Views      *TimeSeries
+	Averages   *AveragesSeries
+}
+
+// AnalyzeDim computes a dimension's full bundle in a single fused pass
+// per snapshot window, replacing four separate scans of the same
+// records.
+func AnalyzeDim(ds *telemetry.Dataset, sched simclock.Schedule, col *telemetry.DimColumn) *DimBundle {
+	b := &DimBundle{
+		Publishers: newTimeSeries(sched),
+		ViewHours:  newTimeSeries(sched),
+		Views:      newTimeSeries(sched),
+		Averages:   &AveragesSeries{},
+	}
+	nKeys := col.Cardinality()
+	nPubs := ds.NumPublishers()
+	var (
+		stamp       int32
+		pubStamp    = make([]int32, nPubs)
+		pubVH       = make([]float64, nPubs)
+		pubCount    = make([]int32, nPubs) // distinct keys per publisher
+		pubOrder    = make([]int32, 0, nPubs)
+		keyStamp    = make([]int32, nKeys)
+		keyPubs     = make([]int32, nKeys) // distinct publishers per key
+		keyVH       = make([]float64, nKeys)
+		keyViews    = make([]float64, nKeys)
+		keyOrder    = make([]int32, 0, nKeys)
+		keyPubStamp = make([]int32, nKeys*nPubs)
+		counts      = make([]float64, 0, nPubs)
+		weights     = make([]float64, 0, nPubs)
+	)
+	for si, snap := range sched {
+		stamp++
+		lo, hi := ds.WindowBounds(snap)
+		pubOrder, keyOrder = pubOrder[:0], keyOrder[:0]
+		var totalVH, totalViews float64
+		for i := lo; i < hi; i++ {
+			p := ds.PublisherID(i)
+			if pubStamp[p] != stamp {
+				pubStamp[p] = stamp
+				pubVH[p] = 0
+				pubCount[p] = 0
+				pubOrder = append(pubOrder, p)
+			}
+			vh := ds.ViewHoursAt(i)
+			pubVH[p] += vh
+			ids := col.IDs(i)
+			if len(ids) == 0 {
+				continue
+			}
+			for _, k := range ids {
+				if keyStamp[k] != stamp {
+					keyStamp[k] = stamp
+					keyPubs[k] = 0
+					keyVH[k] = 0
+					keyViews[k] = 0
+					keyOrder = append(keyOrder, k)
+				}
+				if cell := int(k)*nPubs + int(p); keyPubStamp[cell] != stamp {
+					keyPubStamp[cell] = stamp
+					keyPubs[k]++
+					pubCount[p]++
+				}
+			}
+			vw := ds.ViewsAt(i)
+			totalVH += vh
+			totalViews += vw
+			nk := float64(len(ids))
+			for _, k := range ids {
+				keyVH[k] += vh / nk
+				keyViews[k] += vw / nk
+			}
+		}
+		if len(pubOrder) > 0 {
+			den := float64(len(pubOrder))
+			for _, k := range keyOrder {
+				b.Publishers.row(col.Name(k))[si] = 100 * float64(keyPubs[k]) / den
+			}
+		}
+		if totalVH != 0 {
+			for _, k := range keyOrder {
+				b.ViewHours.row(col.Name(k))[si] = 100 * keyVH[k] / totalVH
+			}
+		}
+		if totalViews != 0 {
+			for _, k := range keyOrder {
+				b.Views.row(col.Name(k))[si] = 100 * keyViews[k] / totalViews
+			}
+		}
+		counts, weights = counts[:0], weights[:0]
+		for _, p := range pubOrder {
+			counts = append(counts, float64(pubCount[p]))
+			weights = append(weights, pubVH[p])
+		}
+		b.Averages.Snapshots = append(b.Averages.Snapshots, snap.Label())
+		b.Averages.Mean = append(b.Averages.Mean, stats.Mean(counts))
+		b.Averages.Weighted = append(b.Averages.Weighted, stats.WeightedMean(counts, weights))
+	}
+	b.Publishers.sortKeys()
+	b.ViewHours.sortKeys()
+	b.Views.sortKeys()
+	return b
+}
+
+// ShareOfViewHoursDataset is ShareOfViewHours over a frozen dataset;
+// exclude is a publisher-ID-indexed mask (nil excludes nothing).
+func ShareOfViewHoursDataset(ds *telemetry.Dataset, sched simclock.Schedule, col *telemetry.DimColumn, exclude []bool) *TimeSeries {
+	return shareOfDataset(ds, sched, col, exclude, false)
+}
+
+// ShareOfViewsDataset is ShareOfViews over a frozen dataset.
+func ShareOfViewsDataset(ds *telemetry.Dataset, sched simclock.Schedule, col *telemetry.DimColumn, exclude []bool) *TimeSeries {
+	return shareOfDataset(ds, sched, col, exclude, true)
+}
+
+func shareOfDataset(ds *telemetry.Dataset, sched simclock.Schedule, col *telemetry.DimColumn, exclude []bool, useViews bool) *TimeSeries {
+	ts := newTimeSeries(sched)
+	nKeys := col.Cardinality()
+	var (
+		stamp    int32
+		keyStamp = make([]int32, nKeys)
+		keyVal   = make([]float64, nKeys)
+		keyOrder = make([]int32, 0, nKeys)
+	)
+	for si, snap := range sched {
+		stamp++
+		lo, hi := ds.WindowBounds(snap)
+		keyOrder = keyOrder[:0]
+		total := 0.0
+		for i := lo; i < hi; i++ {
+			if exclude != nil && exclude[ds.PublisherID(i)] {
+				continue
+			}
+			ids := col.IDs(i)
+			if len(ids) == 0 {
+				continue
+			}
+			m := ds.ViewHoursAt(i)
+			if useViews {
+				m = ds.ViewsAt(i)
+			}
+			total += m
+			share := m / float64(len(ids))
+			for _, k := range ids {
+				if keyStamp[k] != stamp {
+					keyStamp[k] = stamp
+					keyVal[k] = 0
+					keyOrder = append(keyOrder, k)
+				}
+				keyVal[k] += share
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		for _, k := range keyOrder {
+			ts.row(col.Name(k))[si] = 100 * keyVal[k] / total
+		}
+	}
+	ts.sortKeys()
+	return ts
+}
+
+// windowInstances is the shared per-window aggregation of the Fig
+// 3/9/12 families: distinct dimension values and view-hours per
+// publisher, in first-seen publisher order.
+func windowInstances(ds *telemetry.Dataset, snap simclock.Snapshot, col *telemetry.DimColumn) (pubOrder []int32, pubCount []int32, pubVH []float64, totalVH float64) {
+	nKeys := col.Cardinality()
+	nPubs := ds.NumPublishers()
+	pubCount = make([]int32, nPubs)
+	pubVH = make([]float64, nPubs)
+	pubSeen := make([]bool, nPubs)
+	keyPubSeen := make([]bool, nKeys*nPubs)
+	lo, hi := ds.WindowBounds(snap)
+	for i := lo; i < hi; i++ {
+		p := ds.PublisherID(i)
+		if !pubSeen[p] {
+			pubSeen[p] = true
+			pubOrder = append(pubOrder, p)
+		}
+		for _, k := range col.IDs(i) {
+			if cell := int(k)*nPubs + int(p); !keyPubSeen[cell] {
+				keyPubSeen[cell] = true
+				pubCount[p]++
+			}
+		}
+		vh := ds.ViewHoursAt(i)
+		pubVH[p] += vh
+		totalVH += vh
+	}
+	return pubOrder, pubCount, pubVH, totalVH
+}
+
+// InstancesPerPublisherDataset is InstancesPerPublisher over one
+// snapshot of a frozen dataset.
+func InstancesPerPublisherDataset(ds *telemetry.Dataset, snap simclock.Snapshot, col *telemetry.DimColumn) *Histogram {
+	pubOrder, pubCount, pubVH, totalVH := windowInstances(ds, snap, col)
+	maxCount := 0
+	for _, p := range pubOrder {
+		if int(pubCount[p]) > maxCount {
+			maxCount = int(pubCount[p])
+		}
+	}
+	pubsAt := make([]float64, maxCount+1)
+	vhAt := make([]float64, maxCount+1)
+	for _, p := range pubOrder {
+		n := pubCount[p]
+		pubsAt[n]++
+		vhAt[n] += pubVH[p]
+	}
+	h := &Histogram{}
+	nPubs := float64(len(pubOrder))
+	for n := 0; n <= maxCount; n++ {
+		if pubsAt[n] == 0 {
+			continue
+		}
+		h.Counts = append(h.Counts, n)
+		h.PubPct = append(h.PubPct, 100*pubsAt[n]/nPubs)
+		if totalVH > 0 {
+			h.VHPct = append(h.VHPct, 100*vhAt[n]/totalVH)
+		} else {
+			h.VHPct = append(h.VHPct, 0)
+		}
+	}
+	return h
+}
+
+// InstancesByBucketDataset is InstancesByBucket over one snapshot of a
+// frozen dataset.
+func InstancesByBucketDataset(ds *telemetry.Dataset, snap simclock.Snapshot, col *telemetry.DimColumn, snapshotDays, numBuckets int) *BucketBreakdown {
+	if snapshotDays <= 0 {
+		snapshotDays = 1
+	}
+	pubOrder, pubCount, pubVH, _ := windowInstances(ds, snap, col)
+	bb := &BucketBreakdown{
+		Buckets:      make([]map[int]float64, numBuckets),
+		PubsInBucket: make([]float64, numBuckets),
+	}
+	for i := range bb.Buckets {
+		bb.Buckets[i] = map[int]float64{}
+	}
+	nPubs := float64(len(pubOrder))
+	if nPubs == 0 {
+		return bb
+	}
+	for _, p := range pubOrder {
+		b := VHBucket(pubVH[p]/float64(snapshotDays), numBuckets)
+		bb.Buckets[b][int(pubCount[p])] += 100 / nPubs
+		bb.PubsInBucket[b] += 100 / nPubs
+	}
+	return bb
+}
+
+// TopPublisherMask returns a publisher-ID-indexed mask of the n
+// publishers with the most view-hours inside the snapshot, the frozen
+// counterpart of TopPublishersByViewHours for the exclusion analyses.
+func TopPublisherMask(ds *telemetry.Dataset, snap simclock.Snapshot, n int) []bool {
+	nPubs := ds.NumPublishers()
+	vh := make([]float64, nPubs)
+	lo, hi := ds.WindowBounds(snap)
+	for i := lo; i < hi; i++ {
+		vh[ds.PublisherID(i)] += ds.ViewHoursAt(i)
+	}
+	seen := make([]bool, nPubs)
+	ids := make([]int32, 0, nPubs)
+	for i := lo; i < hi; i++ {
+		if p := ds.PublisherID(i); !seen[p] {
+			seen[p] = true
+			ids = append(ids, p)
+		}
+	}
+	// Rank by (view-hours desc, name asc) — the legacy total order.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if vh[a] != vh[b] {
+			return vh[a] > vh[b]
+		}
+		return ds.PublisherName(a) < ds.PublisherName(b)
+	})
+	mask := make([]bool, nPubs)
+	for i := 0; i < n && i < len(ids); i++ {
+		mask[ids[i]] = true
+	}
+	return mask
+}
+
+// MacroDataset is Macro over one snapshot of a frozen dataset.
+func MacroDataset(ds *telemetry.Dataset, snap simclock.Snapshot, snapshotDays int) MacroStats {
+	if snapshotDays <= 0 {
+		snapshotDays = 1
+	}
+	var m MacroStats
+	nPubs := ds.NumPublishers()
+	pubSeen := make([]bool, nPubs)
+	geos := map[string]struct{}{}
+	pubs := 0
+	lo, hi := ds.WindowBounds(snap)
+	for i := lo; i < hi; i++ {
+		if p := ds.PublisherID(i); !pubSeen[p] {
+			pubSeen[p] = true
+			pubs++
+		}
+		if g := ds.Record(i).Geo; g != "" {
+			geos[g] = struct{}{}
+		}
+		m.SampledViews++
+		m.ViewsRepresented += ds.ViewsAt(i)
+		m.ViewHours += ds.ViewHoursAt(i)
+	}
+	m.Publishers = pubs
+	m.DistinctGeos = len(geos)
+	m.DailyViewHours = m.ViewHours / float64(snapshotDays)
+	return m
+}

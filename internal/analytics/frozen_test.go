@@ -1,0 +1,190 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+
+	"vmp/internal/simclock"
+	"vmp/internal/telemetry"
+)
+
+// approxEq compares floats with a relative tolerance: legacy code sums
+// in map-iteration order, so order-dependent sums may differ in ulps.
+func approxEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+func requireSeriesEqual(t *testing.T, name string, got, want *TimeSeries) {
+	t.Helper()
+	if len(got.Keys) != len(want.Keys) {
+		t.Fatalf("%s: keys = %v, want %v", name, got.Keys, want.Keys)
+	}
+	for i, k := range want.Keys {
+		if got.Keys[i] != k {
+			t.Fatalf("%s: keys = %v, want %v", name, got.Keys, want.Keys)
+		}
+		g, w := got.Series[k], want.Series[k]
+		if len(g) != len(w) {
+			t.Fatalf("%s[%s]: %d snapshots, want %d", name, k, len(g), len(w))
+		}
+		for si := range w {
+			if !approxEq(g[si], w[si]) {
+				t.Errorf("%s[%s][%d] = %v, want %v", name, k, si, g[si], w[si])
+			}
+		}
+	}
+}
+
+func TestAnalyzeDimMatchesLegacy(t *testing.T) {
+	store, sched := twoSnapStore()
+	ds := store.Freeze()
+	cases := []struct {
+		name string
+		col  *telemetry.DimColumn
+		dim  Dim
+	}{
+		{"protocol", ds.ProtocolCol(), ProtocolDim},
+		{"platform", ds.PlatformCol(), PlatformDim},
+		{"cdn", ds.CDNCol(), CDNDim},
+	}
+	for _, c := range cases {
+		b := AnalyzeDim(ds, sched, c.col)
+		requireSeriesEqual(t, c.name+"/publishers", b.Publishers, ShareOfPublishers(store, sched, c.dim))
+		requireSeriesEqual(t, c.name+"/viewhours", b.ViewHours, ShareOfViewHours(store, sched, c.dim, nil))
+		requireSeriesEqual(t, c.name+"/views", b.Views, ShareOfViews(store, sched, c.dim, nil))
+		legacy := AverageInstances(store, sched, c.dim)
+		if len(b.Averages.Snapshots) != len(legacy.Snapshots) {
+			t.Fatalf("%s/averages: %d snapshots, want %d", c.name, len(b.Averages.Snapshots), len(legacy.Snapshots))
+		}
+		for i := range legacy.Snapshots {
+			if b.Averages.Snapshots[i] != legacy.Snapshots[i] {
+				t.Errorf("%s/averages label %d = %q, want %q", c.name, i, b.Averages.Snapshots[i], legacy.Snapshots[i])
+			}
+			if !approxEq(b.Averages.Mean[i], legacy.Mean[i]) {
+				t.Errorf("%s/averages mean %d = %v, want %v", c.name, i, b.Averages.Mean[i], legacy.Mean[i])
+			}
+			if !approxEq(b.Averages.Weighted[i], legacy.Weighted[i]) {
+				t.Errorf("%s/averages weighted %d = %v, want %v", c.name, i, b.Averages.Weighted[i], legacy.Weighted[i])
+			}
+		}
+	}
+}
+
+func TestShareOfDatasetExclusion(t *testing.T) {
+	store, sched := twoSnapStore()
+	ds := store.Freeze()
+	exclude := make([]bool, ds.NumPublishers())
+	if id, ok := ds.PublisherIDOf("p2"); ok {
+		exclude[id] = true
+	} else {
+		t.Fatal("p2 missing from dataset")
+	}
+	got := ShareOfViewHoursDataset(ds, sched, ds.ProtocolCol(), exclude)
+	want := ShareOfViewHours(store, sched, ProtocolDim, map[string]bool{"p2": true})
+	requireSeriesEqual(t, "excl-viewhours", got, want)
+
+	gotV := ShareOfViewsDataset(ds, sched, ds.ProtocolCol(), exclude)
+	wantV := ShareOfViews(store, sched, ProtocolDim, map[string]bool{"p2": true})
+	requireSeriesEqual(t, "excl-views", gotV, wantV)
+}
+
+func TestInstancesDatasetMatchesLegacy(t *testing.T) {
+	store, sched := twoSnapStore()
+	ds := store.Freeze()
+	for _, snap := range sched {
+		recs := store.Window(snap)
+		got := InstancesPerPublisherDataset(ds, snap, ds.CDNCol())
+		want := InstancesPerPublisher(recs, CDNDim)
+		if len(got.Counts) != len(want.Counts) {
+			t.Fatalf("%s: counts %v, want %v", snap.Label(), got.Counts, want.Counts)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] || !approxEq(got.PubPct[i], want.PubPct[i]) || !approxEq(got.VHPct[i], want.VHPct[i]) {
+				t.Errorf("%s histogram row %d = (%d %v %v), want (%d %v %v)", snap.Label(), i,
+					got.Counts[i], got.PubPct[i], got.VHPct[i], want.Counts[i], want.PubPct[i], want.VHPct[i])
+			}
+		}
+
+		gotB := InstancesByBucketDataset(ds, snap, ds.CDNCol(), snap.Days, 7)
+		wantB := InstancesByBucket(recs, CDNDim, snap.Days, 7)
+		if len(gotB.Buckets) != len(wantB.Buckets) {
+			t.Fatalf("%s: bucket count mismatch", snap.Label())
+		}
+		for b := range wantB.Buckets {
+			if !approxEq(gotB.PubsInBucket[b], wantB.PubsInBucket[b]) {
+				t.Errorf("%s PubsInBucket[%d] = %v, want %v", snap.Label(), b, gotB.PubsInBucket[b], wantB.PubsInBucket[b])
+			}
+			if len(gotB.Buckets[b]) != len(wantB.Buckets[b]) {
+				t.Errorf("%s bucket %d cells = %v, want %v", snap.Label(), b, gotB.Buckets[b], wantB.Buckets[b])
+				continue
+			}
+			for n, v := range wantB.Buckets[b] {
+				if !approxEq(gotB.Buckets[b][n], v) {
+					t.Errorf("%s bucket %d count %d = %v, want %v", snap.Label(), b, n, gotB.Buckets[b][n], v)
+				}
+			}
+		}
+	}
+}
+
+func TestTopPublisherMaskMatchesLegacy(t *testing.T) {
+	store, sched := twoSnapStore()
+	ds := store.Freeze()
+	for _, snap := range sched {
+		for n := 0; n <= 3; n++ {
+			want := TopPublishersByViewHours(store.Window(snap), n)
+			mask := TopPublisherMask(ds, snap, n)
+			got := map[string]bool{}
+			for id, in := range mask {
+				if in {
+					got[ds.PublisherName(int32(id))] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s top-%d = %v, want %v", snap.Label(), n, got, want)
+			}
+			for p := range want {
+				if !got[p] {
+					t.Errorf("%s top-%d missing %s", snap.Label(), n, p)
+				}
+			}
+		}
+	}
+}
+
+func TestMacroDatasetMatchesLegacy(t *testing.T) {
+	store, sched := twoSnapStore()
+	ds := store.Freeze()
+	for _, snap := range sched {
+		got := MacroDataset(ds, snap, snap.Days)
+		want := Macro(store.Window(snap), snap.Days)
+		if got.Publishers != want.Publishers || got.SampledViews != want.SampledViews ||
+			got.DistinctGeos != want.DistinctGeos ||
+			!approxEq(got.ViewsRepresented, want.ViewsRepresented) ||
+			!approxEq(got.ViewHours, want.ViewHours) ||
+			!approxEq(got.DailyViewHours, want.DailyViewHours) {
+			t.Errorf("%s: MacroDataset = %+v, want %+v", snap.Label(), got, want)
+		}
+	}
+}
+
+func TestAnalyzeDimWeightedRecords(t *testing.T) {
+	// Weighted + multi-CDN records through the fused pass vs legacy.
+	sched := simclock.MakeSchedule(14, 2)[:1]
+	store := telemetry.NewStore()
+	a := mk("p1", 0, "http://c/a.m3u8", "Roku", []string{"A", "B", "C"}, 1800, 7, false)
+	b := mk("p2", 1, "http://c/b.mpd", "iPhone", []string{"B"}, 5400, 3, false)
+	c := mk("p3", 1, "http://c/c.m3u8", "UnknownDevice", nil, 3600, 0, false)
+	store.Append(a, b, c)
+	ds := store.Freeze()
+	bundle := AnalyzeDim(ds, sched, ds.CDNCol())
+	requireSeriesEqual(t, "weighted/cdn/viewhours", bundle.ViewHours, ShareOfViewHours(store, sched, CDNDim, nil))
+	requireSeriesEqual(t, "weighted/cdn/publishers", bundle.Publishers, ShareOfPublishers(store, sched, CDNDim))
+	pb := AnalyzeDim(ds, sched, ds.PlatformCol())
+	requireSeriesEqual(t, "weighted/platform/views", pb.Views, ShareOfViews(store, sched, PlatformDim, nil))
+}

@@ -3,6 +3,11 @@
 // paper's experiment suite, one method per table or figure. The root
 // vmp package re-exports this API; cmd/vmpstudy and the benchmark
 // harness drive it.
+//
+// Figure methods run over a frozen telemetry.Dataset (immutable,
+// timestamp-sorted, interned dimensions) and memoize their results, so
+// each analysis is computed once no matter how many figures share it
+// and the RunAll worker pool can fan out without re-scanning records.
 package core
 
 import (
@@ -39,6 +44,20 @@ type Study struct {
 
 	once  sync.Once
 	store *telemetry.Store
+
+	dsOnce  sync.Once
+	dataset *telemetry.Dataset
+
+	memoMu sync.Mutex
+	memo   map[string]*memoEntry
+}
+
+// memoEntry guards one figure computation: concurrent callers share a
+// single evaluation via the Once.
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
 }
 
 // NewStudy builds the ecosystem for cfg. Dataset generation is lazy:
@@ -50,19 +69,94 @@ func NewStudy(cfg StudyConfig) *Study {
 	}
 }
 
-// Store returns the generated view-record store, generating it on
-// first call.
+// NewStudyFromStore builds a study over an externally provided record
+// store (a decoded JSONL dataset, a benchmark's pre-generated store)
+// instead of generating one from the ecosystem.
+func NewStudyFromStore(cfg StudyConfig, store *telemetry.Store) *Study {
+	s := NewStudy(cfg)
+	s.store = store
+	return s
+}
+
+// Store returns the study's view-record store, generating it on first
+// call unless one was injected via NewStudyFromStore.
 func (s *Study) Store() *telemetry.Store {
-	s.once.Do(func() { s.store = s.Eco.GenerateStore() })
+	s.once.Do(func() {
+		if s.store == nil {
+			s.store = s.Eco.GenerateStore()
+		}
+	})
 	return s.store
+}
+
+// Dataset returns the frozen, analysis-optimized view of the store.
+// All figure methods read from it; it is built once.
+func (s *Study) Dataset() *telemetry.Dataset {
+	s.dsOnce.Do(func() { s.dataset = s.Store().Freeze() })
+	return s.dataset
+}
+
+// entry returns the memo slot for key, creating it if needed.
+func (s *Study) entry(key string) *memoEntry {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	if s.memo == nil {
+		s.memo = make(map[string]*memoEntry)
+	}
+	e := s.memo[key]
+	if e == nil {
+		e = &memoEntry{}
+		s.memo[key] = e
+	}
+	return e
+}
+
+// memoized computes f once per study for key and caches (value, error);
+// a package function because Go methods cannot be generic.
+func memoized[T any](s *Study, key string, f func() (T, error)) (T, error) {
+	e := s.entry(key)
+	e.once.Do(func() { e.val, e.err = f() })
+	if e.err != nil {
+		var zero T
+		return zero, e.err
+	}
+	return e.val.(T), nil
+}
+
+// memo is memoized for infallible computations.
+func memo[T any](s *Study, key string, f func() T) T {
+	v, _ := memoized(s, key, func() (T, error) { return f(), nil })
+	return v
 }
 
 // Schedule returns the study's snapshot schedule.
 func (s *Study) Schedule() simclock.Schedule { return s.Eco.Schedule }
 
-// latest returns the records of the latest snapshot.
+// latest returns the records of the latest snapshot as a zero-copy
+// read-only view of the frozen dataset.
 func (s *Study) latest() []telemetry.ViewRecord {
-	return s.Store().Window(s.Schedule().Latest())
+	return s.Dataset().Window(s.Schedule().Latest())
+}
+
+// bundle memoizes the fused per-dimension analysis (publisher shares,
+// view-hour shares, view shares, instance averages in one pass).
+func (s *Study) bundle(key string, col func(*telemetry.Dataset) *telemetry.DimColumn) *analytics.DimBundle {
+	return memo(s, "bundle:"+key, func() *analytics.DimBundle {
+		ds := s.Dataset()
+		return analytics.AnalyzeDim(ds, s.Schedule(), col(ds))
+	})
+}
+
+func (s *Study) protocolBundle() *analytics.DimBundle {
+	return s.bundle("protocol", (*telemetry.Dataset).ProtocolCol)
+}
+
+func (s *Study) platformBundle() *analytics.DimBundle {
+	return s.bundle("platform", (*telemetry.Dataset).PlatformCol)
+}
+
+func (s *Study) cdnBundle() *analytics.DimBundle {
+	return s.bundle("cdn", (*telemetry.Dataset).CDNCol)
 }
 
 // Table1Row is one row of Table 1.
@@ -92,50 +186,63 @@ func (s *Study) Table1() []Table1Row {
 // Fig2a: percentage of publishers supporting each streaming protocol
 // over time.
 func (s *Study) Fig2a() *analytics.TimeSeries {
-	return analytics.ShareOfPublishers(s.Store(), s.Schedule(), analytics.ProtocolDim)
+	return s.protocolBundle().Publishers
 }
 
 // Fig2b: percentage of view-hours by protocol over time.
 func (s *Study) Fig2b() *analytics.TimeSeries {
-	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.ProtocolDim, nil)
+	return s.protocolBundle().ViewHours
 }
 
 // Fig2c: Fig2b excluding the N large DASH-driving publishers.
 func (s *Study) Fig2c() *analytics.TimeSeries {
-	exclude := map[string]bool{}
-	for _, p := range s.Eco.Publishers {
-		if p.DASHDriver {
-			exclude[p.ID] = true
+	return memo(s, "fig2c", func() *analytics.TimeSeries {
+		ds := s.Dataset()
+		exclude := make([]bool, ds.NumPublishers())
+		for _, p := range s.Eco.Publishers {
+			if p.DASHDriver {
+				if id, ok := ds.PublisherIDOf(p.ID); ok {
+					exclude[id] = true
+				}
+			}
 		}
-	}
-	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.ProtocolDim, exclude)
+		return analytics.ShareOfViewHoursDataset(ds, s.Schedule(), ds.ProtocolCol(), exclude)
+	})
 }
 
 // Fig3a: number of protocols per publisher, latest snapshot.
 func (s *Study) Fig3a() *analytics.Histogram {
-	return analytics.InstancesPerPublisher(s.latest(), analytics.ProtocolDim)
+	return memo(s, "fig3a", func() *analytics.Histogram {
+		ds := s.Dataset()
+		return analytics.InstancesPerPublisherDataset(ds, s.Schedule().Latest(), ds.ProtocolCol())
+	})
 }
 
 // Fig3b: protocols per publisher bucketed by view-hours.
 func (s *Study) Fig3b() *analytics.BucketBreakdown {
-	snap := s.Schedule().Latest()
-	return analytics.InstancesByBucket(s.Store().Window(snap), analytics.ProtocolDim, snap.Days, ecosystem.NumBuckets)
+	return memo(s, "fig3b", func() *analytics.BucketBreakdown {
+		ds := s.Dataset()
+		snap := s.Schedule().Latest()
+		return analytics.InstancesByBucketDataset(ds, snap, ds.ProtocolCol(), snap.Days, ecosystem.NumBuckets)
+	})
 }
 
 // Fig3c: average protocols per publisher over time, plain and
 // view-hour weighted.
 func (s *Study) Fig3c() *analytics.AveragesSeries {
-	return analytics.AverageInstances(s.Store(), s.Schedule(), analytics.ProtocolDim)
+	return s.protocolBundle().Averages
 }
 
 // Fig4: CDF across publishers of the share of their view-hours served
 // via DASH and via HLS.
 func (s *Study) Fig4() map[string]analytics.CDF {
-	recs := s.latest()
-	return map[string]analytics.CDF{
-		"DASH": analytics.SupporterShareCDF(recs, analytics.ProtocolDim, "DASH"),
-		"HLS":  analytics.SupporterShareCDF(recs, analytics.ProtocolDim, "HLS"),
-	}
+	return memo(s, "fig4", func() map[string]analytics.CDF {
+		recs := s.latest()
+		return map[string]analytics.CDF{
+			"DASH": analytics.SupporterShareCDF(recs, analytics.ProtocolDim, "DASH"),
+			"HLS":  analytics.SupporterShareCDF(recs, analytics.ProtocolDim, "HLS"),
+		}
+	})
 }
 
 // Fig5Row describes one platform category and its device models.
@@ -160,91 +267,125 @@ func (s *Study) Fig5() []Fig5Row {
 
 // Fig6a: percentage of view-hours per platform over time.
 func (s *Study) Fig6a() *analytics.TimeSeries {
-	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.PlatformDim, nil)
+	return s.platformBundle().ViewHours
 }
 
 // Fig6b: Fig6a excluding the three largest publishers.
 func (s *Study) Fig6b() *analytics.TimeSeries {
-	exclude := analytics.TopPublishersByViewHours(s.latest(), 3)
-	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.PlatformDim, exclude)
+	return memo(s, "fig6b", func() *analytics.TimeSeries {
+		ds := s.Dataset()
+		exclude := analytics.TopPublisherMask(ds, s.Schedule().Latest(), 3)
+		return analytics.ShareOfViewHoursDataset(ds, s.Schedule(), ds.PlatformCol(), exclude)
+	})
 }
 
 // Fig6c: percentage of views per platform over time.
 func (s *Study) Fig6c() *analytics.TimeSeries {
-	return analytics.ShareOfViews(s.Store(), s.Schedule(), analytics.PlatformDim, nil)
+	return s.platformBundle().Views
 }
 
 // Fig7: percentage of publishers supporting each platform over time.
 func (s *Study) Fig7() *analytics.TimeSeries {
-	return analytics.ShareOfPublishers(s.Store(), s.Schedule(), analytics.PlatformDim)
+	return s.platformBundle().Publishers
 }
 
 // Fig8: CDF of individual view duration per platform, latest snapshot.
 func (s *Study) Fig8() map[string]analytics.CDF {
-	return analytics.DurationCDFs(s.latest())
+	return memo(s, "fig8", func() map[string]analytics.CDF {
+		return analytics.DurationCDFs(s.latest())
+	})
 }
 
 // Fig9a/b/c: platforms per publisher (histogram, bucketed, averages).
 func (s *Study) Fig9a() *analytics.Histogram {
-	return analytics.InstancesPerPublisher(s.latest(), analytics.PlatformDim)
+	return memo(s, "fig9a", func() *analytics.Histogram {
+		ds := s.Dataset()
+		return analytics.InstancesPerPublisherDataset(ds, s.Schedule().Latest(), ds.PlatformCol())
+	})
 }
 
 // Fig9b: platforms per publisher bucketed by view-hours.
 func (s *Study) Fig9b() *analytics.BucketBreakdown {
-	snap := s.Schedule().Latest()
-	return analytics.InstancesByBucket(s.Store().Window(snap), analytics.PlatformDim, snap.Days, ecosystem.NumBuckets)
+	return memo(s, "fig9b", func() *analytics.BucketBreakdown {
+		ds := s.Dataset()
+		snap := s.Schedule().Latest()
+		return analytics.InstancesByBucketDataset(ds, snap, ds.PlatformCol(), snap.Days, ecosystem.NumBuckets)
+	})
 }
 
 // Fig9c: average platforms per publisher over time.
 func (s *Study) Fig9c() *analytics.AveragesSeries {
-	return analytics.AverageInstances(s.Store(), s.Schedule(), analytics.PlatformDim)
+	return s.platformBundle().Averages
 }
 
 // Fig10a/b/c: view-hour shares of devices within browsers, mobile, and
 // set-top boxes.
 func (s *Study) Fig10(pl device.Platform) *analytics.TimeSeries {
-	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.DeviceDim(pl), nil)
+	return memo(s, "fig10:"+pl.String(), func() *analytics.TimeSeries {
+		ds := s.Dataset()
+		return analytics.ShareOfViewHoursDataset(ds, s.Schedule(), ds.DeviceCol(pl.String()), nil)
+	})
 }
 
 // Fig11a: percentage of publishers using each top-5 CDN over time.
 func (s *Study) Fig11a() *analytics.TimeSeries {
-	return analytics.ShareOfPublishers(s.Store(), s.Schedule(), analytics.CDNDim)
+	return s.cdnBundle().Publishers
 }
 
 // Fig11b: percentage of view-hours per CDN over time.
 func (s *Study) Fig11b() *analytics.TimeSeries {
-	return analytics.ShareOfViewHours(s.Store(), s.Schedule(), analytics.CDNDim, nil)
+	return s.cdnBundle().ViewHours
 }
 
 // Fig12a/b/c: CDNs per publisher.
 func (s *Study) Fig12a() *analytics.Histogram {
-	return analytics.InstancesPerPublisher(s.latest(), analytics.CDNDim)
+	return memo(s, "fig12a", func() *analytics.Histogram {
+		ds := s.Dataset()
+		return analytics.InstancesPerPublisherDataset(ds, s.Schedule().Latest(), ds.CDNCol())
+	})
 }
 
 // Fig12b: CDNs per publisher bucketed by view-hours.
 func (s *Study) Fig12b() *analytics.BucketBreakdown {
-	snap := s.Schedule().Latest()
-	return analytics.InstancesByBucket(s.Store().Window(snap), analytics.CDNDim, snap.Days, ecosystem.NumBuckets)
+	return memo(s, "fig12b", func() *analytics.BucketBreakdown {
+		ds := s.Dataset()
+		snap := s.Schedule().Latest()
+		return analytics.InstancesByBucketDataset(ds, snap, ds.CDNCol(), snap.Days, ecosystem.NumBuckets)
+	})
 }
 
 // Fig12c: average CDNs per publisher over time.
 func (s *Study) Fig12c() *analytics.AveragesSeries {
-	return analytics.AverageInstances(s.Store(), s.Schedule(), analytics.CDNDim)
+	return s.cdnBundle().Averages
 }
 
 // CDNSegregation reproduces §4.3's live/VoD segregation numbers.
 func (s *Study) CDNSegregation() analytics.SegregationStats {
-	return analytics.Segregation(s.latest())
+	return memo(s, "cdn-segregation", func() analytics.SegregationStats {
+		return analytics.Segregation(s.latest())
+	})
 }
 
 // Fig13 runs the §5 complexity analysis over the latest inventory.
 func (s *Study) Fig13() (complexity.Report, error) {
-	return complexity.Analyze(s.Eco.InventoryAt(s.Schedule().Latest().Start))
+	return memoized(s, "fig13", func() (complexity.Report, error) {
+		return complexity.Analyze(s.Eco.InventoryAt(s.Schedule().Latest().Start))
+	})
+}
+
+// prevalence pairs Fig14's two results for the memo table.
+type prevalence struct {
+	points []syndication.PrevalencePoint
+	cdf    *stats.ECDF
 }
 
 // Fig14 computes the syndication-prevalence CDF.
 func (s *Study) Fig14() ([]syndication.PrevalencePoint, *stats.ECDF) {
-	return syndication.Prevalence(s.Eco.Publishers)
+	p := memo(s, "fig14", func() prevalence {
+		points, cdf := syndication.Prevalence(s.Eco.Publishers)
+		return prevalence{points, cdf}
+	})
+	return p.points, p.cdf
 }
 
 // QoEComparison is the Fig 15/16 outcome for one ISP×CDN slice.
@@ -256,57 +397,66 @@ type QoEComparison struct {
 }
 
 // Fig15and16 runs the playback-based owner-versus-syndicator
-// comparison on the paper's two slices.
+// comparison on the paper's two slices. The comparison is computed
+// once per study; both figures render from the same run.
 func (s *Study) Fig15and16() ([]QoEComparison, error) {
-	sessions := s.cfg.QoESessions
-	if sessions <= 0 {
-		sessions = 150
-	}
-	seed := s.cfg.Seed
-	if seed == 0 {
-		seed = ecosystem.DefaultSeed
-	}
-	slices, err := syndication.DefaultSlices(s.Eco.CDNs, sessions, seed)
-	if err != nil {
-		return nil, err
-	}
-	cat := syndication.StarCatalogue()
-	s7, ok := cat.SyndicatorByID("S7")
-	if !ok {
-		return nil, fmt.Errorf("core: star catalogue lost S7")
-	}
-	var out []QoEComparison
-	for _, sl := range slices {
-		owner, synd, err := syndication.CompareQoE(cat.Owner, s7, cat.TitleID, sl)
+	return memoized(s, "fig15and16", func() ([]QoEComparison, error) {
+		sessions := s.cfg.QoESessions
+		if sessions <= 0 {
+			sessions = 150
+		}
+		seed := s.cfg.Seed
+		if seed == 0 {
+			seed = ecosystem.DefaultSeed
+		}
+		slices, err := syndication.DefaultSlices(s.Eco.CDNs, sessions, seed)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, QoEComparison{
-			ISP: sl.ISP.Name, CDN: sl.CDN.Name, Owner: owner, Syndicator: synd,
-		})
-	}
-	return out, nil
+		cat := syndication.StarCatalogue()
+		s7, ok := cat.SyndicatorByID("S7")
+		if !ok {
+			return nil, fmt.Errorf("core: star catalogue lost S7")
+		}
+		var out []QoEComparison
+		for _, sl := range slices {
+			owner, synd, err := syndication.CompareQoE(cat.Owner, s7, cat.TitleID, sl)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, QoEComparison{
+				ISP: sl.ISP.Name, CDN: sl.CDN.Name, Owner: owner, Syndicator: synd,
+			})
+		}
+		return out, nil
+	})
 }
 
 // Fig17 returns the star catalogue's ladder table.
 func (s *Study) Fig17() ([]syndication.LadderRow, error) {
-	cat := syndication.StarCatalogue()
-	if err := cat.CheckFig17Invariants(); err != nil {
-		return nil, err
-	}
-	return cat.LadderTable(), nil
+	return memoized(s, "fig17", func() ([]syndication.LadderRow, error) {
+		cat := syndication.StarCatalogue()
+		if err := cat.CheckFig17Invariants(); err != nil {
+			return nil, err
+		}
+		return cat.LadderTable(), nil
+	})
 }
 
 // Fig18 runs the origin-storage redundancy experiment.
 func (s *Study) Fig18() (*syndication.StorageExperiment, error) {
-	return syndication.RunStorageExperiment(syndication.DefaultStorageConfig())
+	return memoized(s, "fig18", func() (*syndication.StorageExperiment, error) {
+		return syndication.RunStorageExperiment(syndication.DefaultStorageConfig())
+	})
 }
 
 // Macro computes the §3 macroscopic-context statistics over the latest
 // snapshot.
 func (s *Study) Macro() analytics.MacroStats {
-	snap := s.Schedule().Latest()
-	return analytics.Macro(s.Store().Window(snap), snap.Days)
+	return memo(s, "macro", func() analytics.MacroStats {
+		snap := s.Schedule().Latest()
+		return analytics.MacroDataset(s.Dataset(), snap, snap.Days)
+	})
 }
 
 // ProtocolPlatformCross computes the protocol × platform view-hour
@@ -314,5 +464,7 @@ func (s *Study) Macro() analytics.MacroStats {
 // data" capability, and a direct view of the §2 coupling between
 // packaging choices and device reach (Apple rows are 100% HLS).
 func (s *Study) ProtocolPlatformCross() *analytics.CrossTab {
-	return analytics.Cross(s.latest(), analytics.PlatformDim, analytics.ProtocolDim)
+	return memo(s, "crosstab", func() *analytics.CrossTab {
+		return analytics.Cross(s.latest(), analytics.PlatformDim, analytics.ProtocolDim)
+	})
 }

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"vmp/internal/device"
+	"vmp/internal/manifest"
+	"vmp/internal/simclock"
+)
+
+// DimColumn is one interned dimension of a frozen Dataset: for every
+// record it stores the small-integer IDs of the dimension values the
+// record contributes to (a protocol, a platform, the CDNs of the view).
+// Columns let the analytics hot loops replace per-record string keys
+// and map lookups with ID-indexed slice accumulation.
+type DimColumn struct {
+	names []string // id → dimension value
+	offs  []int32  // record i owns ids[offs[i]:offs[i+1]]
+	ids   []int32
+}
+
+// Cardinality returns the number of distinct dimension values.
+func (c *DimColumn) Cardinality() int { return len(c.names) }
+
+// Name returns the dimension value for an ID.
+func (c *DimColumn) Name(id int32) string { return c.names[id] }
+
+// IDs returns record i's dimension-value IDs as a read-only view.
+func (c *DimColumn) IDs(i int) []int32 { return c.ids[c.offs[i]:c.offs[i+1]] }
+
+// dimBuilder accumulates a DimColumn one record at a time.
+type dimBuilder struct {
+	index map[string]int32
+	col   DimColumn
+}
+
+func newDimBuilder(n int) *dimBuilder {
+	b := &dimBuilder{index: make(map[string]int32)}
+	b.col.offs = make([]int32, 1, n+1)
+	return b
+}
+
+func (b *dimBuilder) intern(name string) int32 {
+	id, ok := b.index[name]
+	if !ok {
+		id = int32(len(b.col.names))
+		b.index[name] = id
+		b.col.names = append(b.col.names, name)
+	}
+	return id
+}
+
+// add appends one value to the current record.
+func (b *dimBuilder) add(name string) { b.col.ids = append(b.col.ids, b.intern(name)) }
+
+// addID appends an already-interned ID to the current record.
+func (b *dimBuilder) addID(id int32) { b.col.ids = append(b.col.ids, id) }
+
+// endRecord closes the current record's ID run.
+func (b *dimBuilder) endRecord() { b.col.offs = append(b.col.offs, int32(len(b.col.ids))) }
+
+// Dataset is an immutable, timestamp-sorted, read-optimized view of a
+// record set: the analysis substrate the figure suite runs over.
+// Window returns zero-copy sub-slices (the mutable Store copies on
+// every call), per-record Views/ViewHours are precomputed columns, and
+// the dimension keys the §4 analyses group by (publisher, protocol,
+// platform, device model, CDN) are interned to small integer IDs.
+// A Dataset is safe for concurrent use.
+type Dataset struct {
+	records   []ViewRecord
+	views     []float64
+	viewHours []float64
+
+	pubNames []string
+	pubIndex map[string]int32
+	pubIDs   []int32
+
+	protocol *DimColumn
+	platform *DimColumn
+	cdn      *DimColumn
+
+	model         *DimColumn // device model of records with a known device
+	modelPlatform []int32    // platform ID per model ID, parallel to model.names
+
+	mu         sync.RWMutex
+	windows    map[windowKey][2]int
+	deviceCols map[string]*DimColumn
+}
+
+type windowKey struct {
+	start int64
+	days  int
+}
+
+// Freeze returns an immutable, analysis-optimized snapshot of the
+// store's current contents. The frozen dataset does not observe later
+// Appends.
+func (s *Store) Freeze() *Dataset { return NewDataset(s.All()) }
+
+// NewDataset builds a frozen dataset over recs, taking ownership of the
+// slice. Records are sorted by timestamp if they are not already.
+func NewDataset(recs []ViewRecord) *Dataset {
+	if !sort.SliceIsSorted(recs, func(i, j int) bool {
+		return recs[i].Timestamp.Before(recs[j].Timestamp)
+	}) {
+		sort.SliceStable(recs, func(i, j int) bool {
+			return recs[i].Timestamp.Before(recs[j].Timestamp)
+		})
+	}
+	n := len(recs)
+	d := &Dataset{
+		records:    recs,
+		views:      make([]float64, n),
+		viewHours:  make([]float64, n),
+		pubIDs:     make([]int32, n),
+		windows:    make(map[windowKey][2]int),
+		deviceCols: make(map[string]*DimColumn),
+	}
+	d.pubIndex = make(map[string]int32)
+	pubIndex := d.pubIndex
+	protocols := newDimBuilder(n)
+	platforms := newDimBuilder(n)
+	cdns := newDimBuilder(n)
+	models := newDimBuilder(n)
+	protoByURL := make(map[string]int32) // URL-level protocol memo
+	for i := range recs {
+		r := &recs[i]
+		d.views[i] = r.Views()
+		d.viewHours[i] = r.ViewHours()
+		pid, ok := pubIndex[r.Publisher]
+		if !ok {
+			pid = int32(len(d.pubNames))
+			pubIndex[r.Publisher] = pid
+			d.pubNames = append(d.pubNames, r.Publisher)
+		}
+		d.pubIDs[i] = pid
+		protoID, ok := protoByURL[r.URL]
+		if !ok {
+			protoID = protocols.intern(manifest.InferProtocol(r.URL).String())
+			protoByURL[r.URL] = protoID
+		}
+		protocols.addID(protoID)
+		protocols.endRecord()
+		if m, ok := device.ByName(r.Device); ok {
+			platforms.add(m.Platform.String())
+			mid := models.intern(m.Name)
+			models.addID(mid)
+			for int(mid) >= len(d.modelPlatform) {
+				d.modelPlatform = append(d.modelPlatform, -1)
+			}
+			d.modelPlatform[mid] = platforms.index[m.Platform.String()]
+		}
+		platforms.endRecord()
+		models.endRecord()
+		for _, c := range r.CDNs {
+			cdns.add(c)
+		}
+		cdns.endRecord()
+	}
+	d.protocol = &protocols.col
+	d.platform = &platforms.col
+	d.cdn = &cdns.col
+	d.model = &models.col
+	return d
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.records) }
+
+// Record returns record i as a read-only pointer.
+func (d *Dataset) Record(i int) *ViewRecord { return &d.records[i] }
+
+// All returns every record in timestamp order as a read-only view.
+func (d *Dataset) All() []ViewRecord { return d.records }
+
+// ViewsAt returns the precomputed Views() of record i.
+func (d *Dataset) ViewsAt(i int) float64 { return d.views[i] }
+
+// ViewHoursAt returns the precomputed ViewHours() of record i.
+func (d *Dataset) ViewHoursAt(i int) float64 { return d.viewHours[i] }
+
+// NumPublishers returns the number of distinct publishers.
+func (d *Dataset) NumPublishers() int { return len(d.pubNames) }
+
+// PublisherID returns the interned publisher ID of record i.
+func (d *Dataset) PublisherID(i int) int32 { return d.pubIDs[i] }
+
+// PublisherName returns the publisher ID's original identifier.
+func (d *Dataset) PublisherName(id int32) string { return d.pubNames[id] }
+
+// PublisherIDOf returns the interned ID of a publisher identifier, or
+// false if the dataset holds no records for it.
+func (d *Dataset) PublisherIDOf(name string) (int32, bool) {
+	id, ok := d.pubIndex[name]
+	return id, ok
+}
+
+// ProtocolCol returns the streaming-protocol dimension (one value per
+// record, inferred from the manifest URL as in Table 1).
+func (d *Dataset) ProtocolCol() *DimColumn { return d.protocol }
+
+// PlatformCol returns the platform dimension (empty for records whose
+// device model is unknown, mirroring analytics.PlatformDim).
+func (d *Dataset) PlatformCol() *DimColumn { return d.platform }
+
+// CDNCol returns the CDN dimension (every CDN used during the view).
+func (d *Dataset) CDNCol() *DimColumn { return d.cdn }
+
+// DeviceCol returns the device-model dimension restricted to one
+// platform category (the within-platform splits of Fig 10): records on
+// other platforms contribute no values. Columns are built lazily and
+// memoized per platform name.
+func (d *Dataset) DeviceCol(platform string) *DimColumn {
+	d.mu.RLock()
+	col, ok := d.deviceCols[platform]
+	d.mu.RUnlock()
+	if ok {
+		return col
+	}
+	var platformID int32 = -1
+	for id, name := range d.platform.names {
+		if name == platform {
+			platformID = int32(id)
+			break
+		}
+	}
+	col = &DimColumn{names: d.model.names, offs: make([]int32, 1, len(d.records)+1)}
+	for i := range d.records {
+		for _, mid := range d.model.IDs(i) {
+			if d.modelPlatform[mid] == platformID {
+				col.ids = append(col.ids, mid)
+			}
+		}
+		col.offs = append(col.offs, int32(len(col.ids)))
+	}
+	d.mu.Lock()
+	if prev, ok := d.deviceCols[platform]; ok {
+		col = prev
+	} else {
+		d.deviceCols[platform] = col
+	}
+	d.mu.Unlock()
+	return col
+}
+
+// WindowBounds returns the half-open record-index range [lo, hi) whose
+// timestamps fall inside the snapshot. Partitions are memoized per
+// snapshot, so repeated figure passes over the same schedule pay the
+// binary search once.
+func (d *Dataset) WindowBounds(snap simclock.Snapshot) (lo, hi int) {
+	k := windowKey{start: snap.Start.UnixNano(), days: snap.Days}
+	d.mu.RLock()
+	b, ok := d.windows[k]
+	d.mu.RUnlock()
+	if ok {
+		return b[0], b[1]
+	}
+	lo = sort.Search(len(d.records), func(i int) bool {
+		return !d.records[i].Timestamp.Before(snap.Start)
+	})
+	end := snap.End()
+	hi = sort.Search(len(d.records), func(i int) bool {
+		return !d.records[i].Timestamp.Before(end)
+	})
+	d.mu.Lock()
+	d.windows[k] = [2]int{lo, hi}
+	d.mu.Unlock()
+	return lo, hi
+}
+
+// Window returns the records inside the snapshot as a zero-copy
+// read-only sub-slice (contrast Store.Window, which copies).
+func (d *Dataset) Window(snap simclock.Snapshot) []ViewRecord {
+	lo, hi := d.WindowBounds(snap)
+	return d.records[lo:hi]
+}

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"vmp/internal/simclock"
+)
+
+// frozenStore builds a store with out-of-order appends spanning two
+// snapshot windows.
+func frozenStore() (*Store, simclock.Schedule) {
+	sched := simclock.MakeSchedule(14, 2)[:2]
+	s := NewStore()
+	r1 := rec("p1", 15, 3600)
+	r1.URL = "http://cdn-b/p/v2.mpd"
+	r1.CDNs = []string{"B", "C"}
+	r2 := rec("p2", 0, 1800)
+	r2.Weight = 4
+	r3 := rec("p1", 1, 7200)
+	r3.Device = "iPhone"
+	s.Append(r1, r2) // append newest first to exercise sort-on-freeze
+	s.Append(r3)
+	return s, sched
+}
+
+func TestFreezeSortedAndColumns(t *testing.T) {
+	s, _ := frozenStore()
+	ds := s.Freeze()
+	if ds.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", ds.Len(), s.Len())
+	}
+	for i := 1; i < ds.Len(); i++ {
+		if ds.Record(i).Timestamp.Before(ds.Record(i - 1).Timestamp) {
+			t.Fatalf("records not sorted at %d", i)
+		}
+	}
+	for i := 0; i < ds.Len(); i++ {
+		r := ds.Record(i)
+		if got := ds.ViewsAt(i); got != r.Views() {
+			t.Errorf("ViewsAt(%d) = %v, want %v", i, got, r.Views())
+		}
+		if got := ds.ViewHoursAt(i); got != r.ViewHours() {
+			t.Errorf("ViewHoursAt(%d) = %v, want %v", i, got, r.ViewHours())
+		}
+		if got := ds.PublisherName(ds.PublisherID(i)); got != r.Publisher {
+			t.Errorf("publisher round-trip at %d: %q != %q", i, got, r.Publisher)
+		}
+	}
+	if ds.NumPublishers() != 2 {
+		t.Errorf("NumPublishers = %d, want 2", ds.NumPublishers())
+	}
+	if _, ok := ds.PublisherIDOf("p2"); !ok {
+		t.Error("PublisherIDOf(p2) missing")
+	}
+	if _, ok := ds.PublisherIDOf("nope"); ok {
+		t.Error("PublisherIDOf invented a publisher")
+	}
+	// Protocol column: .m3u8 → HLS, .mpd → DASH.
+	proto := ds.ProtocolCol()
+	byName := map[string]int{}
+	for i := 0; i < ds.Len(); i++ {
+		for _, id := range proto.IDs(i) {
+			byName[proto.Name(id)]++
+		}
+	}
+	if byName["HLS"] != 2 || byName["DASH"] != 1 {
+		t.Errorf("protocol counts = %v, want HLS:2 DASH:1", byName)
+	}
+	// CDN column keeps multi-CDN views.
+	cdn := ds.CDNCol()
+	last := cdn.IDs(ds.Len() - 1) // the day-15 record
+	if len(last) != 2 {
+		t.Errorf("multi-CDN record has %d CDN ids, want 2", len(last))
+	}
+}
+
+func TestFreezeIsImmutableSnapshot(t *testing.T) {
+	s, _ := frozenStore()
+	ds := s.Freeze()
+	n := ds.Len()
+	s.Append(rec("p3", 20, 60))
+	if ds.Len() != n {
+		t.Fatalf("frozen dataset observed a later Append")
+	}
+	if s.Len() != n+1 {
+		t.Fatalf("store lost the append")
+	}
+}
+
+func TestDatasetWindowMatchesStore(t *testing.T) {
+	s, sched := frozenStore()
+	ds := s.Freeze()
+	for _, snap := range sched {
+		want := s.Window(snap)
+		got := ds.Window(snap)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("window %s: dataset and store disagree", snap.Label())
+		}
+	}
+}
+
+func TestDatasetWindowZeroAlloc(t *testing.T) {
+	s, sched := frozenStore()
+	ds := s.Freeze()
+	snap := sched[0]
+	ds.Window(snap) // warm the memoized bounds
+	allocs := testing.AllocsPerRun(100, func() {
+		if ds.Window(snap) == nil {
+			t.Fatal("empty window")
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Dataset.Window allocates %.1f objects/op on the warm path, want 0", allocs)
+	}
+}
+
+func TestStoreReadsAfterAppendResort(t *testing.T) {
+	s, sched := frozenStore()
+	_ = s.Window(sched[0])   // force a sort
+	late := rec("p9", 0, 60) // lands inside snapshot 0, appended out of order
+	s.Append(late)
+	recs := s.Window(sched[0])
+	found := false
+	for i := range recs {
+		if recs[i].Publisher == "p9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Window missed a record appended after the first sort")
+	}
+}

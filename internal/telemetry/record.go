@@ -79,15 +79,18 @@ func (r *ViewRecord) AppView() bool { return r.SDK != "" }
 // simulation's stand-in for the collector backend's dataset. It is safe
 // for concurrent use; Append keeps records ordered by timestamp
 // internally via sort-on-read with invalidation, so bulk generation
-// stays cheap.
+// stays cheap. The sort runs once per append generation (a sync.Once
+// replaced on Append), so concurrent readers share the read lock
+// instead of serializing on the write lock. For read-heavy analysis,
+// Freeze the store into an immutable Dataset.
 type Store struct {
-	mu      sync.RWMutex
-	records []ViewRecord
-	sorted  bool
+	mu       sync.RWMutex
+	records  []ViewRecord
+	sortOnce *sync.Once
 }
 
 // NewStore returns an empty store.
-func NewStore() *Store { return &Store{sorted: true} }
+func NewStore() *Store { return &Store{sortOnce: new(sync.Once)} }
 
 // Append adds records to the store.
 func (s *Store) Append(records ...ViewRecord) {
@@ -97,7 +100,7 @@ func (s *Store) Append(records ...ViewRecord) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.records = append(s.records, records...)
-	s.sorted = false
+	s.sortOnce = new(sync.Once)
 }
 
 // Len returns the number of records stored.
@@ -107,42 +110,44 @@ func (s *Store) Len() int {
 	return len(s.records)
 }
 
-// ensureSorted orders records by timestamp. Callers must hold mu for
-// writing.
+// ensureSorted orders records by timestamp. The first reader of an
+// append generation pays for the sort (under the write lock); every
+// other reader just waits on the Once and proceeds under RLock.
 func (s *Store) ensureSorted() {
-	if s.sorted {
-		return
-	}
-	sort.SliceStable(s.records, func(i, j int) bool {
-		return s.records[i].Timestamp.Before(s.records[j].Timestamp)
+	s.mu.RLock()
+	once := s.sortOnce
+	s.mu.RUnlock()
+	once.Do(func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		sort.SliceStable(s.records, func(i, j int) bool {
+			return s.records[i].Timestamp.Before(s.records[j].Timestamp)
+		})
 	})
-	s.sorted = true
 }
 
 // Window returns the records whose timestamps fall inside the snapshot,
 // as a copy safe to retain.
 func (s *Store) Window(snap simclock.Snapshot) []ViewRecord {
-	s.mu.Lock()
 	s.ensureSorted()
-	recs := s.records
-	s.mu.Unlock()
-
-	lo := sort.Search(len(recs), func(i int) bool {
-		return !recs[i].Timestamp.Before(snap.Start)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := sort.Search(len(s.records), func(i int) bool {
+		return !s.records[i].Timestamp.Before(snap.Start)
 	})
-	hi := sort.Search(len(recs), func(i int) bool {
-		return !recs[i].Timestamp.Before(snap.End())
+	hi := sort.Search(len(s.records), func(i int) bool {
+		return !s.records[i].Timestamp.Before(snap.End())
 	})
 	out := make([]ViewRecord, hi-lo)
-	copy(out, recs[lo:hi])
+	copy(out, s.records[lo:hi])
 	return out
 }
 
 // All returns a copy of every record in timestamp order.
 func (s *Store) All() []ViewRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.ensureSorted()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]ViewRecord, len(s.records))
 	copy(out, s.records)
 	return out
@@ -150,9 +155,9 @@ func (s *Store) All() []ViewRecord {
 
 // Select returns the records matching keep, in timestamp order.
 func (s *Store) Select(keep func(*ViewRecord) bool) []ViewRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.ensureSorted()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []ViewRecord
 	for i := range s.records {
 		if keep(&s.records[i]) {

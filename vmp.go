@@ -30,6 +30,12 @@ const DefaultSeed = ecosystem.DefaultSeed
 // that needs view records triggers it.
 func New(cfg Config) *Study { return core.NewStudy(cfg) }
 
+// NewFromStore builds a study over an existing record store (e.g. a
+// dataset decoded with ReadDataset) instead of generating one.
+func NewFromStore(cfg Config, store *telemetry.Store) *Study {
+	return core.NewStudyFromStore(cfg, store)
+}
+
 // WriteDataset generates the study's full view-record dataset and
 // writes it to w as JSON lines — the interchange format cmd/vmpgen
 // emits and the collector ingests.
