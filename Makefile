@@ -1,10 +1,10 @@
 GO ?= go
 
-# Tier-1 verification: build, full test suite, formatting, vet, and the
-# race detector on the packages that run goroutines (the parallel study
-# runner and its substrates).
+# Tier-1 verification: build, full test suite, formatting, vet, the
+# project's own invariant analyzers, and the race detector across the
+# whole module.
 .PHONY: verify
-verify: build test fmt-check vet race
+verify: build test fmt-check vet lint race
 
 .PHONY: build
 build:
@@ -22,9 +22,16 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# lint runs the in-repo analyzer suite (cmd/vmplint): nondeterminism,
+# maporder, frozenwrite, lockdiscipline, errcheck. It must stay clean —
+# these are the machine-checked contracts behind byte-identical figures.
+.PHONY: lint
+lint:
+	$(GO) run ./cmd/vmplint ./...
+
 .PHONY: race
 race:
-	$(GO) test -race ./internal/core/... ./internal/ecosystem/... ./internal/telemetry/...
+	$(GO) test -race ./...
 
 .PHONY: bench
 bench:

@@ -39,7 +39,7 @@ func main() {
 			log.Fatal(fmt.Errorf("collector: %w", err))
 		}
 		recs, err := telemetry.DecodeJSONL(bufio.NewReaderSize(f, 1<<20))
-		f.Close()
+		_ = f.Close() // read side: a close failure loses nothing
 		if err != nil {
 			log.Fatal(fmt.Errorf("collector: loading %s: %w", *load, err))
 		}
@@ -60,7 +60,12 @@ func main() {
 		}()
 	}
 	go func() {
-		for range time.Tick(*interval) {
+		// The wall clock is the right clock here: this is the live
+		// server's operational heartbeat, not study time. NewTicker
+		// (unlike time.Tick) is also stoppable and unflagged.
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for range tick.C {
 			log.Printf("collector: %d records stored, %.1f view-hours",
 				collector.Store().Len(), collector.Store().TotalViewHours())
 		}
@@ -84,11 +89,11 @@ func dumpStore(store *telemetry.Store, path string) error {
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	if err := telemetry.EncodeJSONL(w, store.All()); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error wins
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -32,9 +32,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
 		bw := bufio.NewWriterSize(f, 1<<20)
-		defer bw.Flush()
+		// Flush and close errors lose tail records, so they are fatal
+		// like any other write error.
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				_ = f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
 		w = bw
 	}
 

@@ -1,0 +1,167 @@
+// Command vmplint runs the project's invariant analyzers (package
+// internal/lint) over one or more packages: nondeterminism, maporder,
+// frozenwrite, lockdiscipline, and errcheck — the machine-checked
+// contracts behind byte-identical figure rendering.
+//
+// Usage:
+//
+//	vmplint ./...                 # whole module
+//	vmplint ./internal/analytics  # one package
+//	vmplint -json ./...           # machine-readable findings
+//	vmplint -maporder=false ./... # disable one analyzer
+//
+// Exit status is 0 when clean, 1 when findings were reported, and 2
+// on usage or load errors. Findings are suppressed one line at a time
+// with `//lint:ignore <analyzer> <reason>` on, or directly above, the
+// offending line. Test files are not linted: tests are free to use
+// wall clocks and fixed expectations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vmp/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	enabled := make(map[string]*bool)
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
+	}
+	flag.Parse()
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		return 2
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		return 2
+	}
+
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		return 2
+	}
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmplint:", err)
+			return 2
+		}
+		if pkg == nil {
+			continue
+		}
+		diags = append(diags, lint.RunPackage(pkg, analyzers)...)
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		out, err := lint.JSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmplint:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "vmplint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves package patterns to directories. A pattern
+// ending in /... walks the subtree; anything else names one package
+// directory. testdata, hidden, and VCS directories are skipped.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "." || base == "" {
+			base = root
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.Walk(base, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() {
+				return nil
+			}
+			name := info.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}

@@ -40,7 +40,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var (
 		figure     = flag.String("figure", "all", "table/figure ID to regenerate, or 'all'")
 		seed       = flag.Uint64("seed", 0, "population seed (0 = default)")
@@ -68,11 +68,16 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
 			return err
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vmpstudy: cpuprofile:", err)
+			}
+		}()
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -84,7 +89,9 @@ func run() error {
 			if err := pprof.WriteHeapProfile(f); err != nil {
 				fmt.Fprintln(os.Stderr, "vmpstudy: memprofile:", err)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vmpstudy: memprofile:", err)
+			}
 		}()
 	}
 
@@ -94,7 +101,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// A failed close loses buffered figure data; surface it as the
+		// run's error unless an earlier one already claimed the exit.
+		defer func() {
+			if err := f.Close(); err != nil && retErr == nil {
+				retErr = err
+			}
+		}()
 		w = f
 	}
 

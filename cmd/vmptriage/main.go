@@ -80,7 +80,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read side: a close failure loses nothing
 	recs, err := telemetry.DecodeJSONL(f)
 	if err != nil {
 		fatal(err)

@@ -9,7 +9,9 @@
 package analytics
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"vmp/internal/device"
@@ -18,6 +20,20 @@ import (
 	"vmp/internal/stats"
 	"vmp/internal/telemetry"
 )
+
+// sortedKeys returns m's keys in ascending order. Every aggregation in
+// this package that folds a map into a slice or a float sum iterates
+// via sortedKeys so the fold order — and therefore the last-ulp
+// rounding of the figures — is identical on every run; vmplint's
+// maporder analyzer enforces this at each accumulation site.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // Dim extracts the dimension value(s) a view record contributes to: a
 // protocol name, a platform name, or the CDN(s) that served it.
@@ -127,8 +143,8 @@ func ShareOfPublishers(store *telemetry.Store, sched simclock.Schedule, dim Dim)
 		if len(pubs) == 0 {
 			continue
 		}
-		for k, set := range byKey {
-			ts.row(k)[si] = 100 * float64(len(set)) / float64(len(pubs))
+		for _, k := range sortedKeys(byKey) {
+			ts.row(k)[si] = 100 * float64(len(byKey[k])) / float64(len(pubs))
 		}
 	}
 	ts.sortKeys()
@@ -176,8 +192,8 @@ func shareOf(store *telemetry.Store, sched simclock.Schedule, dim Dim, exclude m
 		if total == 0 {
 			continue
 		}
-		for k, v := range byKey {
-			ts.row(k)[si] = 100 * v / total
+		for _, k := range sortedKeys(byKey) {
+			ts.row(k)[si] = 100 * byKey[k] / total
 		}
 	}
 	ts.sortKeys()
@@ -195,9 +211,9 @@ func TopPublishersByViewHours(recs []telemetry.ViewRecord, n int) map[string]boo
 		p string
 		v float64
 	}
-	var all []pv
-	for p, v := range vh {
-		all = append(all, pv{p, v})
+	all := make([]pv, 0, len(vh))
+	for _, p := range sortedKeys(vh) {
+		all = append(all, pv{p, vh[p]})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].v != all[j].v {
@@ -253,8 +269,8 @@ func InstancesPerPublisher(recs []telemetry.ViewRecord, dim Dim) *Histogram {
 	}
 	nPubs := len(pubKeys)
 	byCount := map[int]*struct{ pubs, vh float64 }{}
-	for pub, set := range pubKeys {
-		n := len(set)
+	for _, pub := range sortedKeys(pubKeys) {
+		n := len(pubKeys[pub])
 		e := byCount[n]
 		if e == nil {
 			e = &struct{ pubs, vh float64 }{}
@@ -340,9 +356,9 @@ func InstancesByBucket(recs []telemetry.ViewRecord, dim Dim, snapshotDays, numBu
 	if nPubs == 0 {
 		return bb
 	}
-	for pub, set := range pubKeys {
+	for _, pub := range sortedKeys(pubKeys) {
 		b := VHBucket(pubVH[pub]/float64(snapshotDays), numBuckets)
-		bb.Buckets[b][len(set)] += 100 / nPubs
+		bb.Buckets[b][len(pubKeys[pub])] += 100 / nPubs
 		bb.PubsInBucket[b] += 100 / nPubs
 	}
 	return bb
@@ -376,8 +392,8 @@ func AverageInstances(store *telemetry.Store, sched simclock.Schedule, dim Dim) 
 			pubVH[r.Publisher] += r.ViewHours()
 		}
 		var counts, weights []float64
-		for pub, set := range pubKeys {
-			counts = append(counts, float64(len(set)))
+		for _, pub := range sortedKeys(pubKeys) {
+			counts = append(counts, float64(len(pubKeys[pub])))
 			weights = append(weights, pubVH[pub])
 		}
 		out.Snapshots = append(out.Snapshots, snap.Label())
@@ -417,9 +433,9 @@ func SupporterShareCDF(recs []telemetry.ViewRecord, dim Dim, key string) CDF {
 		}
 	}
 	var shares []float64
-	for pub, kv := range pubKey {
+	for _, pub := range sortedKeys(pubKey) {
 		if t := pubTotal[pub]; t > 0 {
-			shares = append(shares, 100*kv/t)
+			shares = append(shares, 100*pubKey[pub]/t)
 		}
 	}
 	return FromECDF(stats.NewECDF(shares))

@@ -72,8 +72,8 @@ func (ct *CrossTab) RowShare(row, col string) float64 {
 		return 0
 	}
 	total := 0.0
-	for _, v := range m {
-		total += v
+	for _, col := range sortedKeys(m) {
+		total += m[col]
 	}
 	if total == 0 {
 		return 0
@@ -84,8 +84,8 @@ func (ct *CrossTab) RowShare(row, col string) float64 {
 // ColShare returns cell (row, col) as a fraction of the column total.
 func (ct *CrossTab) ColShare(row, col string) float64 {
 	total := 0.0
-	for _, m := range ct.ViewHours {
-		total += m[col]
+	for _, r := range sortedKeys(ct.ViewHours) {
+		total += ct.ViewHours[r][col]
 	}
 	if total == 0 {
 		return 0

@@ -74,11 +74,11 @@ func (m *Monitor) Ranked() []string {
 	for name := range m.ewma {
 		names = append(names, name)
 	}
-	sort.Slice(names, func(i, j int) bool {
-		if m.ewma[names[i]] != m.ewma[names[j]] {
-			return m.ewma[names[i]] > m.ewma[names[j]]
-		}
-		return names[i] < names[j]
+	// Canonicalize by name first; the stable sort then ranks by score
+	// with ties left in name order, independent of map iteration.
+	sort.Strings(names)
+	sort.SliceStable(names, func(i, j int) bool {
+		return m.ewma[names[i]] > m.ewma[names[j]]
 	})
 	return names
 }

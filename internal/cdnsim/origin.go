@@ -51,7 +51,13 @@ func NewOrigin() *Origin { return &Origin{index: make(map[originKey]int)} }
 func (o *Origin) Push(publisher, contentID string, bitrateBytes map[int]int64) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	for kbps, b := range bitrateBytes {
+	ladder := make([]int, 0, len(bitrateBytes))
+	for kbps := range bitrateBytes {
+		ladder = append(ladder, kbps)
+	}
+	sort.Ints(ladder)
+	for _, kbps := range ladder {
+		b := bitrateBytes[kbps]
 		if b <= 0 {
 			continue
 		}

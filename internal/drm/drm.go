@@ -10,6 +10,7 @@ package drm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -113,6 +114,7 @@ func RequiredSystems(models []device.Model) (systems []System, uncovered []strin
 			for name := range need {
 				uncovered = append(uncovered, name)
 			}
+			sort.Strings(uncovered)
 			break
 		}
 		systems = append(systems, best)

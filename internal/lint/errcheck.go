@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheck flags dropped error returns in internal/ and cmd/
+// packages: an error-returning call used as a bare statement — or
+// behind defer or go — silently swallows I/O failures, which the
+// analytics and CLI writers must surface. Assigning the error
+// explicitly (even to _) is an acknowledged drop and is not flagged.
+//
+// Four call families are exempt because their error returns are
+// interface formality, not signal:
+//
+//   - the fmt print family: best-effort rendering to a writer is this
+//     repo's convention, with write failures surfaced where they are
+//     actionable — on Close and Flush, which this analyzer does check;
+//   - strings.Builder and bytes.Buffer methods: documented to return
+//     nil (Builder) or panic rather than fail (Buffer);
+//   - hash.Hash writes: Write is documented to never return an error;
+//   - (*encoding/csv.Writer).Write: the writer latches the first error
+//     and every caller in this repo surfaces it via Flush+Error().
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "forbid silently dropped error returns in internal/ and cmd/",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	if !strings.HasPrefix(p.Path, "vmp/internal/") && !strings.HasPrefix(p.Path, "vmp/cmd/") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					p.checkDroppedError(call, "")
+				}
+			case *ast.DeferStmt:
+				p.checkDroppedError(st.Call, "deferred ")
+			case *ast.GoStmt:
+				p.checkDroppedError(st.Call, "go ")
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkDroppedError(call *ast.CallExpr, context string) {
+	if p.isFmtPrint(call) || p.isNeverFails(call) {
+		return
+	}
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	switch v := t.(type) {
+	case *types.Tuple:
+		if v.Len() == 0 || !isErrorType(v.At(v.Len()-1).Type()) {
+			return
+		}
+	default:
+		if !isErrorType(v) {
+			return
+		}
+	}
+	p.Reportf(call.Pos(),
+		"%scall to %s drops its error; handle it or assign it explicitly (e.g. _ = ...)",
+		context, callName(call))
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+func (p *Pass) isFmtPrint(call *ast.CallExpr) bool {
+	name, ok := p.pkgFunc(call, "fmt")
+	return ok && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint"))
+}
+
+// isNeverFails reports whether call is a method whose error return is
+// contractually nil: strings.Builder and bytes.Buffer writers,
+// hash.Hash writes, and csv.Writer.Write (whose latched error the
+// repo's renderers surface via Flush+Error).
+func (p *Pass) isNeverFails(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, typ := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkg == "strings" && typ == "Builder":
+		return true
+	case pkg == "bytes" && typ == "Buffer":
+		return true
+	case pkg == "hash" || strings.HasPrefix(pkg, "hash/"):
+		return sel.Sel.Name == "Write"
+	case pkg == "encoding/csv" && typ == "Writer":
+		return sel.Sel.Name == "Write"
+	}
+	return false
+}
+
+// callName renders a readable name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if id, ok := fn.X.(*ast.Ident); ok {
+			return id.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "function"
+}

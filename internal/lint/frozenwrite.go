@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FrozenWrite enforces the immutability contract of the frozen
+// analysis substrate: outside package telemetry itself, nothing may
+// write through a telemetry.Dataset or telemetry.DimColumn — their
+// accessors (All, Window, Record, IDs, ...) hand back zero-copy views
+// of shared state, and the parallel figure pool is race-free only
+// because every worker treats them as read-only.
+//
+// The analyzer taints the results of Dataset/DimColumn method calls
+// and any reference-typed local derived from them (slices, pointers —
+// including &recs[i] and range over a tainted slice), then reports
+// assignments, compound assignments, and ++/-- that write through a
+// tainted expression. Rebinding a tainted variable itself (recs = nil)
+// is not a write-through and stays legal.
+var FrozenWrite = &Analyzer{
+	Name: "frozenwrite",
+	Doc:  "forbid writes through telemetry.Dataset views outside internal/telemetry",
+	Run:  runFrozenWrite,
+}
+
+const telemetryPath = "vmp/internal/telemetry"
+
+// frozenTypes are the telemetry types whose method results alias
+// immutable internals.
+var frozenTypes = map[string]bool{"Dataset": true, "DimColumn": true}
+
+func runFrozenWrite(p *Pass) {
+	if p.Path == telemetryPath || strings.HasPrefix(p.Path, telemetryPath+"/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkFrozenWrites(fd.Body)
+		}
+	}
+}
+
+func (p *Pass) checkFrozenWrites(body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+
+	// Propagate taint through local assignments to a fixpoint (the
+	// taint lattice only grows, so this terminates quickly).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := p.objectOf(id)
+					if obj == nil || tainted[obj] || !mutableRefType(obj.Type()) {
+						continue
+					}
+					if p.taintedExpr(st.Rhs[i], tainted) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if !p.taintedExpr(st.X, tainted) {
+					return true
+				}
+				if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+					obj := p.objectOf(id)
+					if obj != nil && !tainted[obj] && mutableRefType(obj.Type()) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				p.reportFrozenWrite(lhs, tainted)
+			}
+		case *ast.IncDecStmt:
+			p.reportFrozenWrite(st.X, tainted)
+		}
+		return true
+	})
+}
+
+// reportFrozenWrite flags lhs when it writes through tainted memory.
+// A bare identifier only rebinds the variable, so it is skipped.
+func (p *Pass) reportFrozenWrite(lhs ast.Expr, tainted map[types.Object]bool) {
+	if _, ok := lhs.(*ast.Ident); ok {
+		return
+	}
+	if p.taintedExpr(lhs, tainted) {
+		p.Reportf(lhs.Pos(),
+			"write through a telemetry.Dataset view; the frozen dataset is immutable outside internal/telemetry (copy before mutating)")
+	}
+}
+
+// taintedExpr reports whether e reaches Dataset-aliased memory.
+func (p *Pass) taintedExpr(e ast.Expr, tainted map[types.Object]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := p.objectOf(v)
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		return p.isFrozenAccessor(v)
+	case *ast.IndexExpr:
+		return p.taintedExpr(v.X, tainted)
+	case *ast.SliceExpr:
+		return p.taintedExpr(v.X, tainted)
+	case *ast.SelectorExpr:
+		return p.taintedExpr(v.X, tainted)
+	case *ast.StarExpr:
+		return p.taintedExpr(v.X, tainted)
+	case *ast.ParenExpr:
+		return p.taintedExpr(v.X, tainted)
+	case *ast.UnaryExpr:
+		return v.Op == token.AND && p.taintedExpr(v.X, tainted)
+	}
+	return false
+}
+
+// isFrozenAccessor reports whether call is a method call on
+// telemetry.Dataset or telemetry.DimColumn.
+func (p *Pass) isFrozenAccessor(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == telemetryPath && frozenTypes[obj.Name()]
+}
+
+// mutableRefType reports whether t can alias the memory it was
+// derived from (value copies of structs and scalars cannot).
+func mutableRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+// Package lint is a self-contained static-analysis driver (in the
+// spirit of golang.org/x/tools/go/analysis, but stdlib-only) that
+// machine-checks the reproducibility invariants the parallel study
+// engine depends on. Five analyzers enforce the contracts that keep
+// every figure byte-identical across runs and across the serial and
+// parallel render paths:
+//
+//   - nondeterminism: wall-clock and process-seeded randomness stay
+//     out of library code; time flows through simclock, randomness
+//     through seeded generators.
+//   - maporder: accumulation loops never depend on Go's randomized
+//     map iteration order.
+//   - frozenwrite: telemetry.Dataset is immutable outside its own
+//     package — the contract the race-free parallel figure pool
+//     relies on.
+//   - lockdiscipline: mutex-holding types neither re-enter their own
+//     locks nor leak internal slices from under them.
+//   - errcheck: internal/ and cmd/ code does not silently drop error
+//     returns.
+//
+// Findings can be suppressed, one line at a time, with a directive
+// comment carrying an explicit reason:
+//
+//	//lint:ignore <analyzer|all> <reason>
+//
+// placed on the offending line or the line directly above it.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string // short lowercase identifier, used in flags and ignore directives
+	Doc  string // one-line contract statement
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the package under analysis
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// objectOf resolves an identifier to its object, whether it is a use
+// or a definition site.
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// pkgNameOf returns the imported package an identifier denotes, or nil.
+func (p *Pass) pkgNameOf(id *ast.Ident) *types.PkgName {
+	pn, _ := p.objectOf(id).(*types.PkgName)
+	return pn
+}
+
+// Diagnostic is one finding, positioned for editors and CI.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Nondeterminism, MapOrder, FrozenWrite, LockDiscipline, ErrCheck}
+}
+
+// RunPackage runs the analyzers over one loaded package and returns
+// the surviving diagnostics: sorted, deduplicated, and filtered
+// through //lint:ignore directives.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	diags = suppress(diags, collectIgnores(pkg))
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i == 0 || d != diags[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name or "all"
+}
+
+// collectIgnores parses //lint:ignore directives, keyed by file and
+// line. A directive needs both an analyzer name (or "all") and a
+// non-empty reason; malformed directives are inert, so the diagnostic
+// they meant to silence still fires.
+func collectIgnores(pkg *Package) map[string]map[int][]ignoreDirective {
+	out := make(map[string]map[int][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				name, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
+				if !ok || name == "" || strings.TrimSpace(reason) == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]ignoreDirective)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], ignoreDirective{analyzer: name})
+			}
+		}
+	}
+	return out
+}
+
+// suppress drops diagnostics covered by a directive on the same line
+// (trailing comment) or the line directly above (own-line comment).
+func suppress(diags []Diagnostic, ignores map[string]map[int][]ignoreDirective) []Diagnostic {
+	if len(ignores) == 0 {
+		return diags
+	}
+	matches := func(d Diagnostic, line int) bool {
+		for _, dir := range ignores[d.File][line] {
+			if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if matches(d, d.Line) || matches(d, d.Line-1) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Report is the -json output document.
+type Report struct {
+	Count    int          `json:"count"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// JSON renders diagnostics as the stable machine-readable report.
+func JSON(diags []Diagnostic) ([]byte, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return json.MarshalIndent(Report{Count: len(diags), Findings: diags}, "", "  ")
+}

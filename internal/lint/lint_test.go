@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture packages under testdata/ carry their expected findings as
+// golden comments in the analysis/go style:
+//
+//	code() // want <analyzer> "<message regexp>"
+//
+// checkFixture runs the full suite over a fixture and requires an
+// exact match: every diagnostic must be claimed by a want on its line,
+// and every want must be claimed by a diagnostic.
+var wantRe = regexp.MustCompile(`// want ([a-z]+) "([^"]+)"`)
+
+type expectation struct {
+	file     string // base name of the fixture file
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+func loadFixture(t *testing.T, dir, path string) *Package {
+	t.Helper()
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDirWithPath(filepath.Join("testdata", dir), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("no buildable fixture package in testdata/%s", dir)
+	}
+	return pkg
+}
+
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join("testdata", dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), line, m[2], err)
+				}
+				wants = append(wants, &expectation{
+					file: e.Name(), line: line, analyzer: m[1], re: re,
+				})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		_ = f.Close()
+	}
+	return wants
+}
+
+func claim(wants []*expectation, d Diagnostic) bool {
+	base := filepath.Base(d.File)
+	for _, w := range wants {
+		if w.matched || w.file != base || w.line != d.Line || w.analyzer != d.Analyzer {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func checkFixture(t *testing.T, dir, path string) {
+	t.Helper()
+	diags := RunPackage(loadFixture(t, dir, path), Analyzers())
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding matching %q", w.file, w.line, w.analyzer, w.re)
+		}
+	}
+}
+
+func TestNondeterminismFixture(t *testing.T) { checkFixture(t, "nondet", "vmp/internal/nondetfix") }
+
+func TestMapOrderFixture(t *testing.T) { checkFixture(t, "maporder", "vmp/internal/maporderfix") }
+
+func TestFrozenWriteFixture(t *testing.T) {
+	checkFixture(t, "frozenwrite", "vmp/internal/frozenfix")
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	checkFixture(t, "lockdiscipline", "vmp/internal/lockfix")
+}
+
+func TestErrCheckFixture(t *testing.T) { checkFixture(t, "errcheck", "vmp/internal/errfix") }
+
+func TestIgnoreDirectives(t *testing.T) { checkFixture(t, "ignore", "vmp/internal/ignorefix") }
+
+// TestSimclockExemption proves wall-clock reads are legal in the one
+// package that owns the clock.
+func TestSimclockExemption(t *testing.T) {
+	diags := RunPackage(loadFixture(t, "simclockpose", "vmp/internal/simclock"), Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding inside simclock: %s", d)
+	}
+}
+
+// TestFrozenWriteExemptInsideTelemetry reloads the frozenwrite fixture
+// under a pose path inside internal/telemetry, where the writes are
+// the owning package's business.
+func TestFrozenWriteExemptInsideTelemetry(t *testing.T) {
+	diags := RunPackage(loadFixture(t, "frozenwrite", "vmp/internal/telemetry/pose"), Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding inside telemetry: %s", d)
+	}
+}
+
+// TestErrCheckScopedToModule reloads the errcheck fixture under an
+// external import path, which the analyzer does not police.
+func TestErrCheckScopedToModule(t *testing.T) {
+	diags := RunPackage(loadFixture(t, "errcheck", "example.com/outside"), Analyzers())
+	for _, d := range diags {
+		t.Errorf("unexpected finding outside vmp/internal and vmp/cmd: %s", d)
+	}
+}
+
+// TestAnalyzerSubset checks that disabling an analyzer removes its
+// findings — the mechanism behind vmplint's per-analyzer flags.
+func TestAnalyzerSubset(t *testing.T) {
+	pkg := loadFixture(t, "nondet", "vmp/internal/nondetfix")
+	if diags := RunPackage(pkg, []*Analyzer{MapOrder}); len(diags) != 0 {
+		t.Errorf("maporder alone reported %d findings on the nondet fixture, want 0", len(diags))
+	}
+	if diags := RunPackage(pkg, Analyzers()); len(diags) == 0 {
+		t.Error("full suite reported no findings on the nondet fixture")
+	}
+}
+
+// TestJSONShape pins the -json document: a count plus a findings array
+// whose entries expose analyzer/file/line/col/message.
+func TestJSONShape(t *testing.T) {
+	diags := RunPackage(loadFixture(t, "nondet", "vmp/internal/nondetfix"), Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("nondet fixture produced no findings")
+	}
+	out, err := JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("unmarshaling JSON report: %v", err)
+	}
+	if doc.Count != len(diags) || len(doc.Findings) != len(diags) {
+		t.Fatalf("count = %d, findings = %d, want both %d", doc.Count, len(doc.Findings), len(diags))
+	}
+	for i, f := range doc.Findings {
+		if f.Analyzer == "" || f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
+			t.Errorf("finding %d is missing fields: %+v", i, f)
+		}
+	}
+}
+
+// TestJSONEmpty pins the clean-run document so CI consumers can rely
+// on findings always being an array.
+func TestJSONEmpty(t *testing.T) {
+	out, err := JSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Count    int               `json:"count"`
+		Findings []json.RawMessage `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 0 || doc.Findings == nil || len(doc.Findings) != 0 {
+		t.Fatalf("empty report rendered as %s", out)
+	}
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked lint target: its syntax (with comments,
+// for //lint:ignore directives), its type information, and the import
+// path the analyzers use for scoping decisions.
+type Package struct {
+	Path  string // import path, e.g. "vmp/internal/telemetry"
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source using only the
+// standard library: module-local import paths map onto directories
+// under the module root, and everything else resolves from GOROOT/src
+// (the srcimporter strategy). It never shells out to the go tool, so
+// lint runs are hermetic and deterministic.
+//
+// A Loader is not safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	ctx        build.Context
+	root       string // module root directory (holds go.mod)
+	modulePath string // module path declared in go.mod
+
+	imported  map[string]*types.Package // completed dependency imports
+	importing map[string]bool           // cycle guard
+}
+
+// NewLoader returns a loader rooted at the module directory containing
+// go.mod.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modulePath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	// Type-check the pure-Go variants of stdlib packages so the loader
+	// never needs a C toolchain.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ctx:        ctx,
+		root:       abs,
+		modulePath: modulePath,
+		imported:   make(map[string]*types.Package),
+		importing:  make(map[string]bool),
+	}, nil
+}
+
+// ModuleRoot returns the absolute module root directory.
+func (l *Loader) ModuleRoot() string { return l.root }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("lint: locating module: %w", err)
+	}
+	defer func() { _ = f.Close() }()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", path)
+}
+
+// dirFor maps an import path to the directory holding its source.
+func (l *Loader) dirFor(path string) string {
+	if path == l.modulePath {
+		return l.root
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest))
+	}
+	dir := filepath.Join(l.ctx.GOROOT, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		// The standard library vendors its golang.org/x dependencies.
+		if vendored := filepath.Join(l.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path)); dirExists(vendored) {
+			return vendored
+		}
+	}
+	return dir
+}
+
+func dirExists(dir string) bool {
+	info, err := os.Stat(dir)
+	return err == nil && info.IsDir()
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.importPkg(path)
+}
+
+// ImportFrom implements types.ImporterFrom; srcDir is ignored because
+// the loader resolves purely by import path.
+func (l *Loader) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return l.importPkg(path)
+}
+
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.imported[path]; ok {
+		return pkg, nil
+	}
+	if l.importing[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.importing[path] = true
+	defer func() { l.importing[path] = false }()
+
+	files, err := l.parseDir(l.dirFor(path), parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("lint: importing %q: %w", path, err)
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.Fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking import %q: %w", path, err)
+	}
+	l.imported[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files build-selected for the
+// directory.
+func (l *Loader) parseDir(dir string, mode parser.Mode) ([]*ast.File, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadDir loads the package in dir as a lint target, deriving its
+// import path from the module root. Directories holding no buildable
+// Go files return (nil, nil).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil {
+		return nil, err
+	}
+	path := l.modulePath
+	if rel != "." {
+		path = l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadDirWithPath(dir, path)
+}
+
+// LoadDirWithPath loads the package in dir under an explicit import
+// path. The override is what lets fixture packages exercise the
+// analyzers' path-scoped exemptions (e.g. a testdata package posing as
+// vmp/internal/telemetry).
+func (l *Loader) LoadDirWithPath(dir, path string) (*Package, error) {
+	if _, err := l.ctx.ImportDir(dir, 0); err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
+	}
+	files, err := l.parseDir(dir, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parsing %s: %w", dir, err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,53 @@
+// Package frozenwrite exercises the frozenwrite analyzer: writes
+// through any view handed out by telemetry.Dataset or
+// telemetry.DimColumn are flagged; value copies and rebinding are
+// not. The tests also load this package under a pose path inside
+// vmp/internal/telemetry to prove the owning-package exemption.
+package frozenwrite
+
+import "vmp/internal/telemetry"
+
+func writeThroughAll(d *telemetry.Dataset) {
+	recs := d.All()
+	recs[0].Publisher = "p" // want frozenwrite "write through a telemetry.Dataset view"
+}
+
+func writeThroughRecordPointer(d *telemetry.Dataset) {
+	r := d.Record(0)
+	r.Live = true // want frozenwrite "write through a telemetry.Dataset view"
+}
+
+func writeThroughSubslice(d *telemetry.Dataset) {
+	view := d.All()[1:3]
+	view[0].Live = true // want frozenwrite "write through a telemetry.Dataset view"
+}
+
+func writeThroughNestedSlice(d *telemetry.Dataset) {
+	r := d.Record(0)
+	r.CDNs[0] = "x" // want frozenwrite "write through a telemetry.Dataset view"
+}
+
+func writeThroughElementPointer(d *telemetry.Dataset) {
+	recs := d.All()
+	for i := range recs {
+		p := &recs[i]
+		p.Live = true // want frozenwrite "write through a telemetry.Dataset view"
+	}
+}
+
+func writeThroughDimColumn(c *telemetry.DimColumn) {
+	ids := c.IDs(0)
+	ids[0] = 7 // want frozenwrite "write through a telemetry.Dataset view"
+}
+
+func rebindIsLegal(d *telemetry.Dataset) []telemetry.ViewRecord {
+	recs := d.All()
+	recs = recs[:0] // rebinding the variable writes no shared memory
+	return recs
+}
+
+func valueCopyIsLegal(d *telemetry.Dataset) telemetry.ViewRecord {
+	rec := *d.Record(0)
+	rec.Live = true // the copy is the caller's to mutate
+	return rec
+}

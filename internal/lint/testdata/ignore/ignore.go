@@ -1,0 +1,26 @@
+// Package ignore exercises //lint:ignore suppression: a well-formed
+// directive (analyzer or "all", plus a non-empty reason) on the
+// finding's line or the line above silences it; malformed or
+// mismatched directives are inert.
+package ignore
+
+import "time"
+
+func ownLineDirective() time.Time {
+	//lint:ignore nondeterminism fixture: operational logging wants the wall clock
+	return time.Now()
+}
+
+func trailingDirective() time.Time {
+	return time.Now() //lint:ignore all fixture: trailing suppression form
+}
+
+func missingReason() time.Time {
+	//lint:ignore nondeterminism
+	return time.Now() // want nondeterminism "time.Now reads the wall clock"
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:ignore maporder fixture: directive names a different analyzer
+	return time.Now() // want nondeterminism "time.Now reads the wall clock"
+}

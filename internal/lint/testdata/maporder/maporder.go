@@ -1,0 +1,78 @@
+// Package maporder exercises the maporder analyzer: accumulation in
+// map iteration order is flagged unless canonically sorted; per-key
+// transforms and order-insensitive folds are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "never canonically sorted"
+	}
+	return keys
+}
+
+func appendTotallySorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sort.Strings below proves a canonical order
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendComparatorSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder "cannot be proven total"
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want maporder "floating-point accumulation"
+	}
+	return total
+}
+
+func floatIncrement(m map[string]bool) float64 {
+	n := 0.0
+	for range m {
+		n++ // want maporder "floating-point accumulation"
+	}
+	return n
+}
+
+func intAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition is associative: clean
+	}
+	return total
+}
+
+func perKeyTransform(m map[string]float64) {
+	for k := range m {
+		m[k] *= 2 // per-key write through the range key: clean
+	}
+}
+
+func writeThroughCall(rows map[string][]float64, m map[string]float64) {
+	row := func(k string) []float64 { return rows[k] }
+	for k, v := range m {
+		row(k)[0] = v // want maporder "write through a call result"
+	}
+}
+
+func printing(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want maporder "output written in map iteration order"
+	}
+}

@@ -1,0 +1,39 @@
+// Package nondet exercises the nondeterminism analyzer: wall-clock
+// reads and the process-seeded global math/rand source are flagged;
+// seeded generators and bare type references are not.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want nondeterminism "time.Now reads the wall clock"
+	return time.Since(start) // want nondeterminism "time.Since reads the wall clock"
+}
+
+func ticking(stop chan bool) int {
+	n := 0
+	for {
+		select {
+		case <-time.Tick(time.Second): // want nondeterminism "time.Tick reads the wall clock"
+			n++
+		case <-stop:
+			return n
+		}
+	}
+}
+
+func globalSource() int {
+	return rand.Intn(6) // want nondeterminism "rand.Intn draws from the process-seeded global source"
+}
+
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+	return r.Float64()
+}
+
+func typesOnly(t time.Time, r *rand.Rand) (time.Time, *rand.Rand) {
+	return t, r // references to time.Time and rand.Rand carry no nondeterminism
+}

@@ -1,0 +1,8 @@
+// Package simclockpose is loaded by the tests under the import path
+// vmp/internal/simclock — the one package allowed to own the wall
+// clock — to prove the nondeterminism analyzer's exemption.
+package simclockpose
+
+import "time"
+
+func now() time.Time { return time.Now() }

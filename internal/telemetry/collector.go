@@ -52,7 +52,7 @@ func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	defer r.Body.Close()
+	defer func() { _ = r.Body.Close() }()
 	var (
 		batch []ViewRecord
 		bad   int
@@ -201,8 +201,10 @@ func (s *Sensor) Flush() error {
 	if err != nil {
 		return fmt.Errorf("telemetry: posting views: %w", err)
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
+	// Drain so the connection can be reused; neither the drain nor the
+	// close can lose data we care about.
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusAccepted {
 		return fmt.Errorf("telemetry: collector returned %s", resp.Status)
 	}

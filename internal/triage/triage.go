@@ -210,8 +210,20 @@ func (t *Triager) Localize(cfg Config) []Finding {
 	if t.total == 0 {
 		return nil
 	}
+	// Walk combinations in a canonical order so the findings slice —
+	// and every downstream tie-break — never depends on map iteration.
+	keys := make([]string, 0, len(t.views))
+	byKey := make(map[string]Combination, len(t.views))
+	for c := range t.views {
+		k := c.CDN + "\x00" + c.Protocol + "\x00" + c.Device
+		keys = append(keys, k)
+		byKey[k] = c
+	}
+	sort.Strings(keys)
 	var anomalous []Finding
-	for c, v := range t.views {
+	for _, k := range keys {
+		c := byKey[k]
+		v := t.views[c]
 		if v < cfg.MinSupport {
 			continue
 		}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — run the repository's full verification pipeline end to end.
+# Every stage runs even if an earlier one fails, so a single CI pass
+# reports all broken stages; the script exits nonzero if any failed.
+set -u
+
+cd "$(dirname "$0")/.."
+
+failed=""
+
+stage() {
+	name="$1"
+	shift
+	echo "==> $name"
+	if ! "$@"; then
+		echo "==> $name FAILED"
+		failed="$failed $name"
+	fi
+}
+
+stage build     make build
+stage test      make test
+stage fmt-check make fmt-check
+stage vet       make vet
+stage lint      make lint
+stage race      make race
+
+if [ -n "$failed" ]; then
+	echo "ci: failed stages:$failed"
+	exit 1
+fi
+echo "ci: all stages passed"
