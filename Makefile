@@ -36,3 +36,14 @@ race:
 .PHONY: bench
 bench:
 	$(GO) test -run xxx -bench BenchmarkFullStudy -benchtime 5x .
+
+.PHONY: bench-live
+bench-live:
+	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkQueryUnderIngest' -benchmem ./internal/live/
+
+# smoke boots the live serving plane end to end: vmpd ingests a vmpgen
+# slice over HTTP and must answer queries byte-identically to vmpstudy
+# computing them offline from the same file.
+.PHONY: smoke
+smoke:
+	sh scripts/smoke_live.sh

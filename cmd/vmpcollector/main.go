@@ -16,10 +16,9 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
+	"vmp/internal/graceful"
 	"vmp/internal/telemetry"
 )
 
@@ -27,6 +26,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8473", "listen address")
 		interval = flag.Duration("log-every", time.Minute, "how often to log store size")
+		drain    = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
 		load     = flag.String("load", "", "JSONL dataset to preload into the store")
 		dump     = flag.String("dump", "", "JSONL file to write the store to on SIGINT/SIGTERM")
 	)
@@ -46,19 +46,6 @@ func main() {
 		collector.Store().Append(recs...)
 		log.Printf("collector: preloaded %d records from %s", len(recs), *load)
 	}
-	if *dump != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := dumpStore(collector.Store(), *dump); err != nil {
-				log.Printf("collector: dump failed: %v", err)
-				os.Exit(1)
-			}
-			log.Printf("collector: dumped %d records to %s", collector.Store().Len(), *dump)
-			os.Exit(0)
-		}()
-	}
 	go func() {
 		// The wall clock is the right clock here: this is the live
 		// server's operational heartbeat, not study time. NewTicker
@@ -76,8 +63,17 @@ func main() {
 		Handler:           collector.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+	// graceful.Run drains in-flight POSTs before returning, so the
+	// dump below can't race a handler that is still appending — the
+	// hazard the old dump-in-a-signal-goroutine path had.
+	if err := graceful.Run(srv, nil, *drain, nil); err != nil {
 		log.Fatal(fmt.Errorf("collector: %w", err))
+	}
+	if *dump != "" {
+		if err := dumpStore(collector.Store(), *dump); err != nil {
+			log.Fatal(fmt.Errorf("collector: dump: %w", err))
+		}
+		log.Printf("collector: dumped %d records to %s", collector.Store().Len(), *dump)
 	}
 }
 

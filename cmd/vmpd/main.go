@@ -1,0 +1,139 @@
+// Command vmpd runs the live serving plane: sharded streaming ingest
+// of JSON-lines view records, epoch snapshots merged into immutable
+// queryable generations, and the query API — the online counterpart of
+// the offline vmpstudy pipeline. A freshly cut epoch answers
+// /v1/query/* byte-identically to vmpstudy over the same records.
+//
+// Usage:
+//
+//	vmpd -addr :8474 -epoch 5s
+//	vmpgen -stride 24 -post http://localhost:8474
+//	curl http://localhost:8474/v1/query/share?dim=protocol
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"vmp/internal/graceful"
+	"vmp/internal/live"
+	"vmp/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8474", "listen address")
+		shards     = flag.Int("shards", 8, "hash partitions for ingest")
+		queueDepth = flag.Int("queue-depth", 64, "queued batches per shard before backpressure")
+		batchMax   = flag.Int("batch-max", 4096, "records coalesced into one append")
+		epoch      = flag.Duration("epoch", 5*time.Second, "snapshot cadence")
+		retryAfter = flag.Duration("retry-after", 500*time.Millisecond, "retry hint on backpressure")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
+		interval   = flag.Duration("log-every", time.Minute, "how often to log the published generation")
+		load       = flag.String("load", "", "JSONL dataset to preload before serving")
+		dump       = flag.String("dump", "", "JSONL file to write the final generation to on shutdown")
+	)
+	flag.Parse()
+
+	engine := live.NewEngine(live.Config{
+		Shards:     *shards,
+		QueueDepth: *queueDepth,
+		BatchMax:   *batchMax,
+		EpochEvery: *epoch,
+		RetryAfter: *retryAfter,
+	})
+	if *load != "" {
+		n, err := preload(engine, *load)
+		if err != nil {
+			log.Fatal(fmt.Errorf("vmpd: %w", err))
+		}
+		g := engine.Snapshot()
+		log.Printf("vmpd: preloaded %d records from %s (epoch %d)", n, *load, g.Epoch)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go engine.Run(ctx)
+	go func() {
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for range tick.C {
+			g := engine.Generation()
+			log.Printf("vmpd: epoch %d, %d records published", g.Epoch, g.Records)
+		}
+	}()
+
+	server := live.NewServer(engine)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("vmpd: listening on %s (%d shards, %s epochs)", *addr, *shards, *epoch)
+	err := graceful.Run(srv, nil, *drain, nil)
+	cancel()
+	// Close cuts a final epoch over everything the drained handlers
+	// admitted, so the dump sees every accepted record exactly once.
+	g := engine.Close()
+	if err != nil {
+		log.Fatal(fmt.Errorf("vmpd: %w", err))
+	}
+	log.Printf("vmpd: drained; final epoch %d holds %d records", g.Epoch, g.Records)
+	if *dump != "" {
+		if err := dumpGeneration(g, *dump); err != nil {
+			log.Fatal(fmt.Errorf("vmpd: dump: %w", err))
+		}
+		log.Printf("vmpd: dumped %d records to %s", g.Records, *dump)
+	}
+}
+
+// preload streams a JSONL file into the engine, retrying batches the
+// shard queues reject; the consumers are already running, so
+// backpressure clears itself.
+func preload(engine *live.Engine, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	recs, bad, err := telemetry.ScanJSONL(bufio.NewReaderSize(f, 1<<20))
+	_ = f.Close() // read side: a close failure loses nothing
+	if err != nil {
+		return 0, fmt.Errorf("loading %s: %w", path, err)
+	}
+	if bad > 0 {
+		return 0, fmt.Errorf("loading %s: %d malformed lines", path, bad)
+	}
+	for {
+		res, err := engine.Ingest(recs)
+		if err != nil {
+			return 0, err
+		}
+		if res.Backpressured == 0 {
+			return len(recs), nil
+		}
+		time.Sleep(res.RetryAfter)
+	}
+}
+
+// dumpGeneration writes a generation's records as JSON lines.
+func dumpGeneration(g *live.Generation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := telemetry.EncodeJSONL(w, g.Dataset.All()); err != nil {
+		_ = f.Close() // the encode error wins
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

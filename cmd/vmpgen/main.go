@@ -1,41 +1,60 @@
 // Command vmpgen generates the synthetic view-record dataset as JSON
 // lines — the wire format the collector ingests and ReadDataset
-// parses.
+// parses. With -post it doubles as the load driver for the live
+// serving plane: instead of (or besides) writing a file, it streams
+// the dataset to a vmpd or vmpcollector ingest endpoint in batches,
+// honoring 429 backpressure responses by waiting out the server's
+// Retry-After hint and retrying the identical batch.
 //
 // Usage:
 //
-//	vmpgen -o views.jsonl            # full 27-month dataset
-//	vmpgen -stride 8 | head          # thinned, to stdout
+//	vmpgen -o views.jsonl                        # full 27-month dataset
+//	vmpgen -stride 8 | head                      # thinned, to stdout
+//	vmpgen -stride 24 -post http://localhost:8474
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strconv"
+	"time"
 
 	"vmp"
+	"vmp/internal/simclock"
+	"vmp/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 0, "population seed (0 = default)")
-		stride = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
-		out    = flag.String("o", "", "output file (default stdout)")
+		seed      = flag.Uint64("seed", 0, "population seed (0 = default)")
+		stride    = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
+		out       = flag.String("o", "", "output file (default stdout; with -post, default none)")
+		post      = flag.String("post", "", "base URL of a /v1/views ingest endpoint to stream the dataset to")
+		postBatch = flag.Int("post-batch", 2000, "records per POST batch")
+		postTries = flag.Int("post-retries", 100, "max retries per batch on backpressure")
 	)
 	flag.Parse()
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		bw := bufio.NewWriterSize(f, 1<<20)
-		// Flush and close errors lose tail records, so they are fatal
-		// like any other write error.
-		defer func() {
+	study := vmp.New(vmp.Config{Seed: *seed, SnapshotStride: *stride})
+
+	if *out != "" || *post == "" {
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			bw := bufio.NewWriterSize(f, 1<<20)
+			if err := vmp.WriteDataset(study, bw); err != nil {
+				fatal(err)
+			}
+			// Flush and close errors lose tail records, so they are
+			// fatal like any other write error.
 			if err := bw.Flush(); err != nil {
 				_ = f.Close()
 				fatal(err)
@@ -43,15 +62,77 @@ func main() {
 			if err := f.Close(); err != nil {
 				fatal(err)
 			}
-		}()
-		w = bw
+		} else if err := vmp.WriteDataset(study, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vmpgen: wrote %d records\n", study.Store().Len())
 	}
 
-	study := vmp.New(vmp.Config{Seed: *seed, SnapshotStride: *stride})
-	if err := vmp.WriteDataset(study, w); err != nil {
-		fatal(err)
+	if *post != "" {
+		if err := drive(*post, study.Store().All(), *postBatch, *postTries); err != nil {
+			fatal(err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "vmpgen: wrote %d records\n", study.Store().Len())
+}
+
+// drive streams recs to url's /v1/views endpoint in batches. A 429
+// means the server's shard queues are full; the batch is retried
+// unchanged after the Retry-After hint — admission is atomic on the
+// server, so retries never duplicate records.
+func drive(url string, recs []telemetry.ViewRecord, batch, retries int) error {
+	if batch <= 0 {
+		batch = 2000
+	}
+	clk := simclock.Wall()
+	start := clk.Now()
+	client := &http.Client{Timeout: 30 * time.Second}
+	posted, backpressured := 0, 0
+	for lo := 0; lo < len(recs); lo += batch {
+		hi := lo + batch
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.EncodeJSONL(&buf, recs[lo:hi]); err != nil {
+			return err
+		}
+		body := buf.Bytes()
+		for attempt := 0; ; attempt++ {
+			resp, err := client.Post(url+"/v1/views", "application/x-ndjson", bytes.NewReader(body))
+			if err != nil {
+				return err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				posted += hi - lo
+				break
+			}
+			if resp.StatusCode != http.StatusTooManyRequests {
+				return fmt.Errorf("POST /v1/views: %s", resp.Status)
+			}
+			backpressured++
+			if attempt >= retries {
+				return fmt.Errorf("batch at record %d still backpressured after %d retries", lo, retries)
+			}
+			time.Sleep(retryAfter(resp))
+		}
+	}
+	elapsed := clk.Now().Sub(start)
+	fmt.Fprintf(os.Stderr, "vmpgen: posted %d records in %v (%.0f records/s, %d backpressure waits)\n",
+		posted, elapsed.Round(time.Millisecond), float64(posted)/elapsed.Seconds(), backpressured)
+	return nil
+}
+
+// retryAfter extracts the server's Retry-After hint (whole seconds per
+// RFC 9110), defaulting to half a second.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 500 * time.Millisecond
 }
 
 func fatal(err error) {

@@ -12,9 +12,18 @@
 // figures are computed on a worker pool (-workers); output is
 // byte-identical to a serial run. -cpuprofile and -memprofile write
 // pprof profiles for performance work.
+//
+// The offline answer modes mirror the vmpd query API over a JSONL
+// dataset: -share and -top compute the same responses, through the
+// same code, that a vmpd generation serves — byte-identical when both
+// saw the same records:
+//
+//	vmpstudy -input views.jsonl -share protocol
+//	vmpstudy -input views.jsonl -top 10
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +33,8 @@ import (
 	"runtime/pprof"
 
 	"vmp"
+	"vmp/internal/live"
+	"vmp/internal/telemetry"
 )
 
 // errScorecardFailed signals a non-zero exit without a message (the
@@ -53,6 +64,10 @@ func run() (retErr error) {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for -figure all (1 = serial)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		input      = flag.String("input", "", "JSONL dataset to analyze instead of generating one")
+		shareDim   = flag.String("share", "", "offline answer mode: share-of-traffic for this dimension (protocol, platform, cdn)")
+		shareBy    = flag.String("share-by", "", "share weighting: viewhours (default) or views")
+		topN       = flag.Int("top", 0, "offline answer mode: top-N publishers by view-hours")
 	)
 	flag.Parse()
 
@@ -111,7 +126,33 @@ func run() (retErr error) {
 		w = f
 	}
 
-	study := vmp.New(vmp.Config{Seed: *seed, SnapshotStride: *stride, QoESessions: *sessions})
+	var store *telemetry.Store
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		store, err = vmp.ReadDataset(bufio.NewReaderSize(f, 1<<20))
+		_ = f.Close() // read side: a close failure loses nothing
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", *input, err)
+		}
+	}
+
+	if *shareDim != "" || *topN > 0 {
+		if store == nil {
+			store = vmp.New(vmp.Config{Seed: *seed, SnapshotStride: *stride}).Store()
+		}
+		return answer(w, store, *shareDim, *shareBy, *topN)
+	}
+
+	cfg := vmp.Config{Seed: *seed, SnapshotStride: *stride, QoESessions: *sessions}
+	var study *vmp.Study
+	if store != nil {
+		study = vmp.NewFromStore(cfg, store)
+	} else {
+		study = vmp.New(cfg)
+	}
 	if *scorecard {
 		failures, err := study.RenderScorecard(w)
 		if err != nil {
@@ -139,4 +180,29 @@ func run() (retErr error) {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// answer computes vmpd-equivalent query responses offline. The records
+// go through the same canonical sort, dataset build, computation, and
+// serialization as an Engine snapshot, so a vmpd that ingested the
+// same dataset answers byte-identically.
+func answer(w io.Writer, store *telemetry.Store, shareDim, shareBy string, topN int) error {
+	recs := store.All() // a copy; sorting it cannot disturb the store
+	telemetry.CanonicalSort(recs)
+	ds := telemetry.NewDataset(recs)
+	if shareDim != "" {
+		resp, err := live.ShareOver(ds, shareDim, shareBy)
+		if err != nil {
+			return err
+		}
+		if err := live.WriteJSON(w, resp); err != nil {
+			return err
+		}
+	}
+	if topN > 0 {
+		if err := live.WriteJSON(w, live.TopPublishersOver(ds, topN)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,97 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"vmp/internal/simclock"
+)
+
+// BenchmarkLiveIngest measures admission + micro-batched append
+// throughput: one op is a 500-record batch through Ingest. The engine
+// is recycled every 200 ops (outside the timer) so pending-buffer
+// growth doesn't turn the bench into a memory benchmark.
+func BenchmarkLiveIngest(b *testing.B) {
+	recs := genRecords(500)
+	cfg := Config{Shards: 8, QueueDepth: 64, Clock: simclock.NewManual(simclock.StudyStart)}
+	e := NewEngine(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%200 == 0 {
+			b.StopTimer()
+			e.Close()
+			e = NewEngine(cfg)
+			b.StartTimer()
+		}
+		for {
+			res, err := e.Ingest(recs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Backpressured == 0 {
+				break
+			}
+		}
+	}
+	b.StopTimer()
+	e.Close()
+	b.ReportMetric(float64(500*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkQueryUnderIngest measures query latency on the published
+// generation while a writer goroutine streams batches and a
+// snapshotter cuts epochs — the serving plane's steady state. Queries
+// read the atomic generation pointer and share no lock with the
+// append path, so ingest stalls cannot show up in these numbers.
+func BenchmarkQueryUnderIngest(b *testing.B) {
+	e := NewEngine(Config{Shards: 8, QueueDepth: 64, Clock: simclock.NewManual(simclock.StudyStart)})
+	defer e.Close()
+	if _, err := e.Ingest(genRecords(50000)); err != nil {
+		b.Fatal(err)
+	}
+	e.Snapshot()
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		batch := genRecords(500)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if res, err := e.Ingest(batch); err != nil || res.Backpressured > 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				e.Snapshot()
+			}
+		}
+	}()
+
+	dims := []string{"protocol", "platform", "cdn"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := e.Generation()
+		if _, err := ShareOver(g.Dataset, dims[i%len(dims)], "viewhours"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+	<-snapDone
+}

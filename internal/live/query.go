@@ -1,0 +1,212 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"vmp/internal/analytics"
+	"vmp/internal/simclock"
+	"vmp/internal/telemetry"
+)
+
+// This file is the query vocabulary of the serving plane. Every
+// response type here is computed and serialized identically whether it
+// is served by vmpd from a published generation or printed offline by
+// vmpstudy from a JSONL file — that shared code path is what the CI
+// smoke stage's byte-identical online/offline comparison rests on.
+
+// DimColumn resolves a query dimension name on a dataset.
+func DimColumn(ds *telemetry.Dataset, dim string) (*telemetry.DimColumn, error) {
+	switch dim {
+	case "protocol":
+		return ds.ProtocolCol(), nil
+	case "platform":
+		return ds.PlatformCol(), nil
+	case "cdn":
+		return ds.CDNCol(), nil
+	}
+	return nil, fmt.Errorf("live: unknown dimension %q (want protocol, platform, or cdn)", dim)
+}
+
+// Share is one dimension value's slice of the total.
+type Share struct {
+	Key string  `json:"key"`
+	Pct float64 `json:"pct"`
+}
+
+// ShareResponse is the /v1/query/share payload.
+type ShareResponse struct {
+	Dim     string  `json:"dim"`
+	By      string  `json:"by"`
+	Records int     `json:"records"`
+	Shares  []Share `json:"shares"`
+}
+
+// ShareOver computes each dimension value's percentage of total
+// view-hours (by "viewhours", the paper's primary measure) or views
+// (by "views") over the whole dataset. A record splits its measure
+// evenly across its dimension values, exactly as the offline
+// share-of analyses attribute multi-CDN views. Output is sorted by
+// key, ascending, so rendering is deterministic.
+func ShareOver(ds *telemetry.Dataset, dim, by string) (*ShareResponse, error) {
+	col, err := DimColumn(ds, dim)
+	if err != nil {
+		return nil, err
+	}
+	useViews, err := byViews(by)
+	if err != nil {
+		return nil, err
+	}
+	resp := &ShareResponse{Dim: dim, By: byName(useViews), Records: ds.Len()}
+	nKeys := col.Cardinality()
+	keyVal := make([]float64, nKeys)
+	keySeen := make([]bool, nKeys)
+	keyOrder := make([]int32, 0, nKeys)
+	total := 0.0
+	for i := 0; i < ds.Len(); i++ {
+		ids := col.IDs(i)
+		if len(ids) == 0 {
+			continue
+		}
+		m := ds.ViewHoursAt(i)
+		if useViews {
+			m = ds.ViewsAt(i)
+		}
+		total += m
+		share := m / float64(len(ids))
+		for _, k := range ids {
+			if !keySeen[k] {
+				keySeen[k] = true
+				keyOrder = append(keyOrder, k)
+			}
+			keyVal[k] += share
+		}
+	}
+	if total == 0 {
+		resp.Shares = []Share{}
+		return resp, nil
+	}
+	resp.Shares = make([]Share, 0, len(keyOrder))
+	for _, k := range keyOrder {
+		resp.Shares = append(resp.Shares, Share{Key: col.Name(k), Pct: 100 * keyVal[k] / total})
+	}
+	sort.Slice(resp.Shares, func(i, j int) bool { return resp.Shares[i].Key < resp.Shares[j].Key })
+	return resp, nil
+}
+
+func byViews(by string) (bool, error) {
+	switch by {
+	case "", "viewhours":
+		return false, nil
+	case "views":
+		return true, nil
+	}
+	return false, fmt.Errorf("live: unknown measure %q (want viewhours or views)", by)
+}
+
+func byName(useViews bool) string {
+	if useViews {
+		return "views"
+	}
+	return "viewhours"
+}
+
+// TopPublisher is one row of a Top-K ranking.
+type TopPublisher struct {
+	Publisher string  `json:"publisher"`
+	ViewHours float64 `json:"view_hours"`
+	Pct       float64 `json:"pct"`
+}
+
+// TopPublishersResponse is the /v1/query/top-publishers payload.
+type TopPublishersResponse struct {
+	N       int            `json:"n"`
+	Records int            `json:"records"`
+	Total   float64        `json:"total_view_hours"`
+	Top     []TopPublisher `json:"top"`
+}
+
+// TopPublishersOver ranks publishers by total view-hours over the
+// whole dataset, ties broken by name ascending — the same total order
+// the offline exclusion analyses use.
+func TopPublishersOver(ds *telemetry.Dataset, n int) *TopPublishersResponse {
+	if n <= 0 {
+		n = 10
+	}
+	nPubs := ds.NumPublishers()
+	vh := make([]float64, nPubs)
+	total := 0.0
+	for i := 0; i < ds.Len(); i++ {
+		v := ds.ViewHoursAt(i)
+		vh[ds.PublisherID(i)] += v
+		total += v
+	}
+	ids := make([]int32, nPubs)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if vh[a] != vh[b] {
+			return vh[a] > vh[b]
+		}
+		return ds.PublisherName(a) < ds.PublisherName(b)
+	})
+	resp := &TopPublishersResponse{N: n, Records: ds.Len(), Total: total, Top: []TopPublisher{}}
+	for i := 0; i < n && i < len(ids); i++ {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * vh[ids[i]] / total
+		}
+		resp.Top = append(resp.Top, TopPublisher{
+			Publisher: ds.PublisherName(ids[i]),
+			ViewHours: vh[ids[i]],
+			Pct:       pct,
+		})
+	}
+	return resp
+}
+
+// WindowResponse is the /v1/query/window payload: the macroscopic
+// stats of one time window, the serving-plane form of the §3 context
+// table.
+type WindowResponse struct {
+	Start            string  `json:"start"`
+	Days             int     `json:"days"`
+	SampledViews     int     `json:"sampled_views"`
+	ViewsRepresented float64 `json:"views_represented"`
+	ViewHours        float64 `json:"view_hours"`
+	DailyViewHours   float64 `json:"daily_view_hours"`
+	Publishers       int     `json:"publishers"`
+	DistinctGeos     int     `json:"distinct_geos"`
+}
+
+// WindowOver computes macro stats for the window [start, start+days).
+func WindowOver(ds *telemetry.Dataset, start time.Time, days int) *WindowResponse {
+	if days <= 0 {
+		days = 1
+	}
+	snap := simclock.Snapshot{Start: start, Days: days}
+	m := analytics.MacroDataset(ds, snap, days)
+	return &WindowResponse{
+		Start:            start.UTC().Format(time.RFC3339),
+		Days:             days,
+		SampledViews:     m.SampledViews,
+		ViewsRepresented: m.ViewsRepresented,
+		ViewHours:        m.ViewHours,
+		DailyViewHours:   m.DailyViewHours,
+		Publishers:       m.Publishers,
+		DistinctGeos:     m.DistinctGeos,
+	}
+}
+
+// WriteJSON serializes a query response the one canonical way (a
+// json.Encoder line). vmpd's handlers and vmpstudy's offline answer
+// mode both funnel through here, which is what makes the smoke-stage
+// equality check a byte comparison.
+func WriteJSON(w io.Writer, v any) error {
+	return json.NewEncoder(w).Encode(v)
+}

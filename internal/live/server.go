@@ -1,0 +1,205 @@
+package live
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"vmp/internal/obs"
+	"vmp/internal/telemetry"
+)
+
+// Server exposes an Engine over HTTP: wire-level ingest on the
+// collector's /v1/views contract, the query API over the published
+// generation, an admin snapshot trigger, and the metrics registry.
+type Server struct {
+	engine *Engine
+
+	rejected   *obs.Counter
+	scanErrors *obs.Counter
+	qLatency   map[string]*obs.Histogram
+}
+
+// queryLatencyBounds are the per-endpoint latency buckets, in seconds.
+var queryLatencyBounds = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}
+
+// NewServer wraps an engine. Metrics go to the engine's registry.
+func NewServer(e *Engine) *Server {
+	reg := e.Metrics()
+	s := &Server{
+		engine:     e,
+		rejected:   reg.Counter("live_ingest_rejected_total"),
+		scanErrors: reg.Counter("live_ingest_scan_errors_total"),
+		qLatency:   make(map[string]*obs.Histogram),
+	}
+	for _, ep := range []string{"share", "top-publishers", "window"} {
+		s.qLatency[ep] = reg.Histogram("live_query_"+ep+"_seconds", queryLatencyBounds)
+	}
+	return s
+}
+
+// Handler returns the serving plane's HTTP surface:
+//
+//	POST /v1/views                — JSONL ingest; 202 accepted,
+//	                                429 + Retry-After on backpressure
+//	POST /v1/snapshot             — force an epoch cut
+//	GET  /v1/query/share          — ?dim=protocol|platform|cdn&by=viewhours|views
+//	GET  /v1/query/top-publishers — ?n=10
+//	GET  /v1/query/window         — ?start=RFC3339&days=2
+//	GET  /v1/stats                — ingest counters + current epoch
+//	GET  /v1/metrics              — obs registry snapshot
+//	GET  /healthz                 — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/views", s.handleViews)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/v1/query/share", s.query("share", s.shareResponse))
+	mux.HandleFunc("/v1/query/top-publishers", s.query("top-publishers", s.topResponse))
+	mux.HandleFunc("/v1/query/window", s.query("window", s.windowResponse))
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.Handle("/v1/metrics", s.engine.Metrics().Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	defer func() { _ = r.Body.Close() }()
+	batch, bad, err := telemetry.ScanJSONL(r.Body)
+	s.rejected.Add(int64(bad))
+	if err != nil {
+		// Cut-short stream (oversized line or transport error): reject
+		// the whole batch so a retry is exact, and count the event.
+		s.scanErrors.Add(1)
+		s.rejected.Add(int64(len(batch)))
+		http.Error(w, fmt.Sprintf("read error: %v", err), http.StatusBadRequest)
+		return
+	}
+	res, err := s.engine.Ingest(batch)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if res.Backpressured > 0 {
+		// The backpressure contract: the whole batch was rejected,
+		// nothing was enqueued, and the client should resend the same
+		// batch after RetryAfter.
+		secs := int(res.RetryAfter / time.Second)
+		if res.RetryAfter%time.Second != 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintf(w, `{"accepted":0,"backpressured":%d,"rejected":%d,"retry_after_ms":%d}`+"\n",
+			res.Backpressured, bad, res.RetryAfter.Milliseconds())
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, `{"accepted":%d,"backpressured":0,"rejected":%d}`+"\n", res.Accepted, bad)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	g := s.engine.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"epoch":%d,"records":%d}`+"\n", g.Epoch, g.Records)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	g := s.engine.Generation()
+	snap := s.engine.Metrics().Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"epoch":%d,"records":%d,"ingested":%d,"backpressured":%d,"rejected":%d,"scan_errors":%d,"queued_batches":%d}`+"\n",
+		g.Epoch, g.Records,
+		snap.Counters["live_ingest_records_total"],
+		snap.Counters["live_ingest_backpressured_total"],
+		snap.Counters["live_ingest_rejected_total"],
+		snap.Counters["live_ingest_scan_errors_total"],
+		s.engine.queuedBatches())
+}
+
+// query wraps a response builder with method checking, latency
+// observation, and canonical serialization.
+func (s *Server) query(name string, build func(*http.Request) (any, error)) http.HandlerFunc {
+	hist := s.qLatency[name]
+	clock := s.engine.clock
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		start := clock.Now()
+		resp, err := build(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteJSON(w, resp); err != nil {
+			http.Error(w, "encode error", http.StatusInternalServerError)
+			return
+		}
+		hist.Observe(clock.Now().Sub(start).Seconds())
+	}
+}
+
+func (s *Server) shareResponse(r *http.Request) (any, error) {
+	dim := r.URL.Query().Get("dim")
+	if dim == "" {
+		dim = "protocol"
+	}
+	g := s.engine.Generation()
+	return ShareOver(g.Dataset, dim, r.URL.Query().Get("by"))
+}
+
+func (s *Server) topResponse(r *http.Request) (any, error) {
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("live: bad n %q", q)
+		}
+		n = v
+	}
+	g := s.engine.Generation()
+	return TopPublishersOver(g.Dataset, n), nil
+}
+
+func (s *Server) windowResponse(r *http.Request) (any, error) {
+	q := r.URL.Query()
+	startStr := q.Get("start")
+	if startStr == "" {
+		return nil, fmt.Errorf("live: window query requires start=RFC3339 (or YYYY-MM-DD)")
+	}
+	start, err := time.Parse(time.RFC3339, startStr)
+	if err != nil {
+		start, err = time.Parse("2006-01-02", startStr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("live: bad start %q", startStr)
+	}
+	days := 2
+	if d := q.Get("days"); d != "" {
+		v, err := strconv.Atoi(d)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("live: bad days %q", d)
+		}
+		days = v
+	}
+	g := s.engine.Generation()
+	return WindowOver(g.Dataset, start, days), nil
+}

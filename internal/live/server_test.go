@@ -1,0 +1,335 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vmp/internal/telemetry"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *Engine) {
+	t.Helper()
+	e := newTestEngine(t, cfg)
+	s := NewServer(e)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv, e
+}
+
+func postViews(t *testing.T, client *http.Client, url string, recs []telemetry.ViewRecord) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.EncodeJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/views", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerIngestAndQuery(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 4})
+	recs := genRecords(1500)
+	resp := postViews(t, srv.Client(), srv.URL, recs)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %s: %s", resp.Status, body)
+	}
+	if !strings.Contains(string(body), `"accepted":1500`) {
+		t.Fatalf("ingest body = %s", body)
+	}
+
+	// Cut an epoch over the wire and query it.
+	snap, err := srv.Client().Post(srv.URL+"/v1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(snap.Body)
+	snap.Body.Close()
+	if !strings.Contains(string(sbody), `"records":1500`) {
+		t.Fatalf("snapshot body = %s", sbody)
+	}
+
+	q, err := srv.Client().Get(srv.URL + "/v1/query/share?dim=protocol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qbody, _ := io.ReadAll(q.Body)
+	q.Body.Close()
+	if q.StatusCode != http.StatusOK {
+		t.Fatalf("share status = %s", q.Status)
+	}
+	var want bytes.Buffer
+	wantResp, err := ShareOver(e.Generation().Dataset, "protocol", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&want, wantResp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(qbody, want.Bytes()) {
+		t.Fatalf("HTTP share differs from direct query:\nhttp:   %s\ndirect: %s", qbody, want.String())
+	}
+
+	top, err := srv.Client().Get(srv.URL + "/v1/query/top-publishers?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var topResp TopPublishersResponse
+	err = json.NewDecoder(top.Body).Decode(&topResp)
+	top.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topResp.Top) != 3 || topResp.Records != 1500 {
+		t.Fatalf("top = %+v", topResp)
+	}
+
+	win, err := srv.Client().Get(srv.URL + "/v1/query/window?start=2016-01-01&days=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var winResp WindowResponse
+	err = json.NewDecoder(win.Body).Decode(&winResp)
+	win.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winResp.SampledViews != 1500 {
+		t.Fatalf("window = %+v", winResp)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	_, srv, _ := newTestServer(t, Config{Shards: 2})
+	for path, wantStatus := range map[string]int{
+		"/v1/query/share?dim=bogus":                http.StatusBadRequest,
+		"/v1/query/top-publishers?n=-1":            http.StatusBadRequest,
+		"/v1/query/window":                         http.StatusBadRequest,
+		"/v1/query/window?start=not-a-date":        http.StatusBadRequest,
+		"/v1/query/window?start=2016-01-01&days=x": http.StatusBadRequest,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+	}
+	// Method checks.
+	resp, err := srv.Client().Get(srv.URL + "/v1/views")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/views = %d", resp.StatusCode)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/v1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/snapshot = %d", resp.StatusCode)
+	}
+}
+
+func TestServerOversizedLine(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 2})
+	var buf bytes.Buffer
+	if err := telemetry.EncodeJSONL(&buf, genRecords(3)); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat("y", telemetry.MaxLineBytes+1) + "\n")
+	resp, err := srv.Client().Post(srv.URL+"/v1/views", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+	if got := e.Metrics().Counter("live_ingest_scan_errors_total").Load(); got != 1 {
+		t.Fatalf("scan_errors = %d, want 1", got)
+	}
+	if got := e.Metrics().Counter("live_ingest_rejected_total").Load(); got != 3 {
+		t.Fatalf("rejected = %d, want 3 (the cut-short batch)", got)
+	}
+	if g := e.Snapshot(); g.Records != 0 {
+		t.Fatalf("failed batch leaked %d records into the epoch", g.Records)
+	}
+}
+
+func TestServerBackpressure429(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 1, QueueDepth: 1, RetryAfter: 1500 * time.Millisecond})
+	sh := e.shards[0]
+	sh.mu.Lock()
+	released := false
+	defer func() {
+		if !released {
+			sh.mu.Unlock()
+		}
+	}()
+
+	recs := genRecords(30)
+	resp := postViews(t, srv.Client(), srv.URL, recs[0:10])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch = %s", resp.Status)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(sh.ch) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never pulled the first batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp = postViews(t, srv.Client(), srv.URL, recs[10:20])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second batch = %s", resp.Status)
+	}
+	resp = postViews(t, srv.Client(), srv.URL, recs[20:30])
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third batch = %s, want 429", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q (1.5s rounded up)", got, "2")
+	}
+	if !strings.Contains(string(body), `"backpressured":10`) || !strings.Contains(string(body), `"retry_after_ms":1500`) {
+		t.Fatalf("backpressure body = %s", body)
+	}
+	released = true
+	sh.mu.Unlock()
+}
+
+// TestServerMixedWorkloadRace drives concurrent ingest, queries,
+// snapshots, and metrics scrapes through the HTTP surface — the
+// workload go test -race vets for the "ingestion never blocks queries"
+// contract — then closes the loop by checking no admitted record was
+// lost.
+func TestServerMixedWorkloadRace(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 4, QueueDepth: 16})
+	client := srv.Client()
+
+	const writers, batches, per = 4, 10, 50
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	accepted := 0
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				recs := genRecords((w*batches + b + 1) * per)[:per]
+				for {
+					var buf bytes.Buffer
+					if err := telemetry.EncodeJSONL(&buf, recs); err != nil {
+						t.Error(err)
+						return
+					}
+					resp, err := client.Post(srv.URL+"/v1/views", "application/x-ndjson", &buf)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusAccepted {
+						mu.Lock()
+						accepted += per
+						mu.Unlock()
+						break
+					}
+					if resp.StatusCode != http.StatusTooManyRequests {
+						t.Errorf("ingest status = %s", resp.Status)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			paths := []string{
+				"/v1/query/share?dim=cdn",
+				"/v1/query/top-publishers?n=5",
+				"/v1/query/window?start=2016-01-01&days=50",
+				"/v1/metrics",
+				"/v1/stats",
+			}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(srv.URL + paths[i%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status = %s", resp.Status)
+					return
+				}
+			}
+		}()
+	}
+	snapper := make(chan struct{})
+	go func() {
+		defer close(snapper)
+		for i := 0; i < 20; i++ {
+			e.Snapshot()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-snapper
+	close(stop)
+	readers.Wait()
+
+	g := e.Snapshot()
+	if g.Records != accepted {
+		t.Fatalf("final generation has %d records, accepted %d", g.Records, accepted)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	_, srv, _ := newTestServer(t, Config{Shards: 1})
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %s %s", resp.Status, body)
+	}
+	if testing.Verbose() {
+		fmt.Println("healthz ok")
+	}
+}

@@ -1,0 +1,56 @@
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "what time is it now" for the operational plane: the
+// live serving daemons need real time for epoch cadences, retry-after
+// hints, and latency measurement, while their tests need a time source
+// they control. Study code never uses a Clock — figures take time from
+// the simulated schedule above — but serving code takes one by
+// injection, which keeps the vmplint nondeterminism contract intact:
+// the only wall-clock read in the module lives here, in the package
+// that owns time.
+type Clock interface {
+	// Now returns the current instant. Wall clocks return readings
+	// carrying Go's monotonic component, so Sub on two readings is a
+	// safe duration measurement.
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Wall returns the process wall clock. This is the one sanctioned
+// wall-clock source in the module; hand it to daemons at their
+// entry points and inject a Manual clock everywhere in tests.
+func Wall() Clock { return wallClock{} }
+
+// ManualClock is a Clock whose time only moves when the test advances
+// it. It is safe for concurrent use.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManual returns a manual clock frozen at start.
+func NewManual(start time.Time) *ManualClock {
+	return &ManualClock{t: start}
+}
+
+// Now returns the clock's current instant.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}

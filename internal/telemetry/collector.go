@@ -12,14 +12,46 @@ import (
 	"vmp/internal/manifest"
 )
 
+// MaxLineBytes is the largest JSONL line the wire-level ingest paths
+// accept. bufio.Scanner's default cap is 64 KiB, which a record with a
+// long CDN list or bitrate ladder can exceed; every ingest scanner in
+// the module (collector and live serving plane) shares this limit so a
+// long line is a surfaced scan error, never a silent truncation.
+const MaxLineBytes = 1 << 20
+
+// ScanJSONL reads JSON-lines view records from r with the module-wide
+// MaxLineBytes line cap. Blank lines are skipped; lines that fail to
+// parse or lack a publisher are counted in bad, not returned. A
+// non-nil err (an oversized line or a transport read error) means the
+// stream was cut short: batch holds the records scanned up to that
+// point and the caller decides whether to keep them.
+func ScanJSONL(r io.Reader) (batch []ViewRecord, bad int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec ViewRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Publisher == "" {
+			bad++
+			continue
+		}
+		batch = append(batch, rec)
+	}
+	return batch, bad, sc.Err()
+}
+
 // Collector is the backend half of the monitoring pipeline: an HTTP
 // service that ingests JSON-lines batches of view records (the wire
 // format publishers' monitoring libraries report in) and accumulates
 // them in a Store. Use NewCollector and mount Handler on any mux.
 type Collector struct {
-	store    *Store
-	ingested atomic.Int64
-	rejected atomic.Int64
+	store      *Store
+	ingested   atomic.Int64
+	rejected   atomic.Int64
+	scanErrors atomic.Int64
 }
 
 // NewCollector returns a collector backed by store. A nil store gets a
@@ -53,26 +85,14 @@ func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { _ = r.Body.Close() }()
-	var (
-		batch []ViewRecord
-		bad   int
-	)
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var rec ViewRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Publisher == "" {
-			bad++
-			continue
-		}
-		batch = append(batch, rec)
-	}
-	if err := sc.Err(); err != nil {
-		http.Error(w, "read error", http.StatusBadRequest)
+	batch, bad, err := ScanJSONL(r.Body)
+	if err != nil {
+		// The batch was cut short (oversized line or transport error):
+		// reject it whole, and surface the event on the stats counters
+		// so a misbehaving sensor is visible, not silent.
+		c.scanErrors.Add(1)
+		c.rejected.Add(int64(len(batch) + bad))
+		http.Error(w, fmt.Sprintf("read error: %v", err), http.StatusBadRequest)
 		return
 	}
 	c.store.Append(batch...)
@@ -88,8 +108,8 @@ func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"ingested":%d,"rejected":%d,"stored":%d}`+"\n",
-		c.ingested.Load(), c.rejected.Load(), c.store.Len())
+	fmt.Fprintf(w, `{"ingested":%d,"rejected":%d,"scan_errors":%d,"stored":%d}`+"\n",
+		c.ingested.Load(), c.rejected.Load(), c.scanErrors.Load(), c.store.Len())
 }
 
 // Summary is the /v1/summary payload: the coarse dataset breakdown a

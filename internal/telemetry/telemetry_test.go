@@ -329,3 +329,57 @@ func TestNewSensorDefaults(t *testing.T) {
 		t.Fatalf("defaults not applied: %+v", s)
 	}
 }
+
+func TestScanJSONLOversizedLine(t *testing.T) {
+	// One good record, then a line exceeding MaxLineBytes: the scan
+	// must stop with an error, not silently truncate the batch.
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, []ViewRecord{rec("p1", 0, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat("x", MaxLineBytes+1) + "\n")
+	batch, bad, err := ScanJSONL(&buf)
+	if err == nil {
+		t.Fatal("oversized line did not surface a scan error")
+	}
+	if len(batch) != 1 || bad != 0 {
+		t.Fatalf("batch = %d records, bad = %d; want 1, 0", len(batch), bad)
+	}
+}
+
+func TestCollectorRejectsOversizedLine(t *testing.T) {
+	col := NewCollector(nil)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, []ViewRecord{rec("p1", 0, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(strings.Repeat("x", MaxLineBytes+1) + "\n")
+	resp, err := http.Post(srv.URL+"/v1/views", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %s, want 400", resp.Status)
+	}
+	if col.Store().Len() != 0 {
+		t.Fatalf("store kept %d records from a failed batch", col.Store().Len())
+	}
+	stats, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(stats.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scan_errors":1`, `"rejected":1`, `"ingested":0`} {
+		if !strings.Contains(body.String(), want) {
+			t.Errorf("stats missing %s: %s", want, body.String())
+		}
+	}
+}

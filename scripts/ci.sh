@@ -24,6 +24,7 @@ stage fmt-check make fmt-check
 stage vet       make vet
 stage lint      make lint
 stage race      make race
+stage smoke     make smoke
 
 if [ -n "$failed" ]; then
 	echo "ci: failed stages:$failed"
