@@ -23,11 +23,16 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the in-repo analyzer suite (cmd/vmplint): nondeterminism,
-# maporder, frozenwrite, lockdiscipline, errcheck. It must stay clean —
-# these are the machine-checked contracts behind byte-identical figures.
+# maporder, frozenwrite, lockdiscipline, errcheck, atomicdiscipline,
+# goroutinelifecycle, chandiscipline, ctxflow. It must stay clean —
+# these are the machine-checked contracts behind byte-identical figures
+# and the race-free serving plane. The second invocation folds test
+# files in for the determinism analyzers: test expectations must not
+# depend on the wall clock or map iteration order either.
 .PHONY: lint
 lint:
 	$(GO) run ./cmd/vmplint ./...
+	$(GO) run ./cmd/vmplint -tests -only nondeterminism,maporder ./...
 
 .PHONY: race
 race:
@@ -40,6 +45,13 @@ bench:
 .PHONY: bench-live
 bench-live:
 	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkQueryUnderIngest' -benchmem ./internal/live/
+
+# bench-lint times a full nine-analyzer run over the module tree and
+# records it in BENCH_lint.json, so analyzer additions that regress
+# lint latency show up in review.
+.PHONY: bench-lint
+bench-lint:
+	$(GO) test -run xxx -bench BenchmarkLintTree -benchtime 3x ./internal/lint/
 
 # smoke boots the live serving plane end to end: vmpd ingests a vmpgen
 # slice over HTTP and must answer queries byte-identically to vmpstudy

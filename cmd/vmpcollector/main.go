@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,15 +47,21 @@ func main() {
 		collector.Store().Append(recs...)
 		log.Printf("collector: preloaded %d records from %s", len(recs), *load)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		// The wall clock is the right clock here: this is the live
 		// server's operational heartbeat, not study time. NewTicker
 		// (unlike time.Tick) is also stoppable and unflagged.
 		tick := time.NewTicker(*interval)
 		defer tick.Stop()
-		for range tick.C {
-			log.Printf("collector: %d records stored, %.1f view-hours",
-				collector.Store().Len(), collector.Store().TotalViewHours())
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				log.Printf("collector: %d records stored, %.1f view-hours",
+					collector.Store().Len(), collector.Store().TotalViewHours())
+			}
 		}
 	}()
 	log.Printf("collector: listening on %s", *addr)
@@ -66,7 +73,9 @@ func main() {
 	// graceful.Run drains in-flight POSTs before returning, so the
 	// dump below can't race a handler that is still appending — the
 	// hazard the old dump-in-a-signal-goroutine path had.
-	if err := graceful.Run(srv, nil, *drain, nil); err != nil {
+	err := graceful.Run(srv, nil, *drain, nil)
+	cancel() // stop the heartbeat before dumping
+	if err != nil {
 		log.Fatal(fmt.Errorf("collector: %w", err))
 	}
 	if *dump != "" {

@@ -23,6 +23,7 @@ import (
 
 	"vmp/internal/graceful"
 	"vmp/internal/live"
+	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
 )
 
@@ -48,8 +49,9 @@ func main() {
 		EpochEvery: *epoch,
 		RetryAfter: *retryAfter,
 	})
+	ctx, cancel := context.WithCancel(context.Background())
 	if *load != "" {
-		n, err := preload(engine, *load)
+		n, err := preload(ctx, engine, *load)
 		if err != nil {
 			log.Fatal(fmt.Errorf("vmpd: %w", err))
 		}
@@ -57,14 +59,18 @@ func main() {
 		log.Printf("vmpd: preloaded %d records from %s (epoch %d)", n, *load, g.Epoch)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
 	go engine.Run(ctx)
 	go func() {
 		tick := time.NewTicker(*interval)
 		defer tick.Stop()
-		for range tick.C {
-			g := engine.Generation()
-			log.Printf("vmpd: epoch %d, %d records published", g.Epoch, g.Records)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				g := engine.Generation()
+				log.Printf("vmpd: epoch %d, %d records published", g.Epoch, g.Records)
+			}
 		}
 	}()
 
@@ -94,8 +100,9 @@ func main() {
 
 // preload streams a JSONL file into the engine, retrying batches the
 // shard queues reject; the consumers are already running, so
-// backpressure clears itself.
-func preload(engine *live.Engine, path string) (int, error) {
+// backpressure clears itself. The waits between retries ride ctx, so
+// shutdown interrupts a stalled preload instead of hanging on it.
+func preload(ctx context.Context, engine *live.Engine, path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -116,7 +123,9 @@ func preload(engine *live.Engine, path string) (int, error) {
 		if res.Backpressured == 0 {
 			return len(recs), nil
 		}
-		time.Sleep(res.RetryAfter)
+		if err := simclock.Wait(ctx, res.RetryAfter); err != nil {
+			return 0, fmt.Errorf("loading %s: %w", path, err)
+		}
 	}
 }
 

@@ -16,9 +16,11 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -69,7 +71,7 @@ func main() {
 	}
 
 	if *post != "" {
-		if err := drive(*post, study.Store().All(), *postBatch, *postTries); err != nil {
+		if err := drive(context.Background(), *post, study.Store().All(), *postBatch, *postTries, *seed); err != nil {
 			fatal(err)
 		}
 	}
@@ -78,11 +80,16 @@ func main() {
 // drive streams recs to url's /v1/views endpoint in batches. A 429
 // means the server's shard queues are full; the batch is retried
 // unchanged after the Retry-After hint — admission is atomic on the
-// server, so retries never duplicate records.
-func drive(url string, recs []telemetry.ViewRecord, batch, retries int) error {
+// server, so retries never duplicate records. The hint is capped (a
+// confused server cannot stall the driver for minutes at a time) and
+// jittered from a seeded generator, so concurrent drivers
+// desynchronize without run-to-run nondeterminism; the wait itself
+// rides ctx and aborts when the caller is cancelled.
+func drive(ctx context.Context, url string, recs []telemetry.ViewRecord, batch, retries int, seed uint64) error {
 	if batch <= 0 {
 		batch = 2000
 	}
+	jitter := rand.New(rand.NewSource(int64(seed)))
 	clk := simclock.Wall()
 	start := clk.Now()
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -115,7 +122,9 @@ func drive(url string, recs []telemetry.ViewRecord, batch, retries int) error {
 			if attempt >= retries {
 				return fmt.Errorf("batch at record %d still backpressured after %d retries", lo, retries)
 			}
-			time.Sleep(retryAfter(resp))
+			if err := simclock.Wait(ctx, retryAfter(resp, jitter)); err != nil {
+				return err
+			}
 		}
 	}
 	elapsed := clk.Now().Sub(start)
@@ -124,15 +133,24 @@ func drive(url string, recs []telemetry.ViewRecord, batch, retries int) error {
 	return nil
 }
 
+// retryAfterCap bounds how long a single Retry-After hint can stall
+// the driver; a server hinting longer is simply retried sooner.
+const retryAfterCap = 5 * time.Second
+
 // retryAfter extracts the server's Retry-After hint (whole seconds per
-// RFC 9110), defaulting to half a second.
-func retryAfter(resp *http.Response) time.Duration {
+// RFC 9110), defaulting to half a second, capping at retryAfterCap,
+// and adding up to 25% seeded jitter so retry storms decorrelate.
+func retryAfter(resp *http.Response, jitter *rand.Rand) time.Duration {
+	d := 500 * time.Millisecond
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-			return time.Duration(secs) * time.Second
+			d = time.Duration(secs) * time.Second
 		}
 	}
-	return 500 * time.Millisecond
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	return d + time.Duration(jitter.Int63n(int64(d)/4+1))
 }
 
 func fatal(err error) {

@@ -1,7 +1,9 @@
 // Command vmplint runs the project's invariant analyzers (package
 // internal/lint) over one or more packages: nondeterminism, maporder,
-// frozenwrite, lockdiscipline, and errcheck — the machine-checked
-// contracts behind byte-identical figure rendering.
+// frozenwrite, lockdiscipline, errcheck, atomicdiscipline,
+// goroutinelifecycle, chandiscipline, and ctxflow — the
+// machine-checked contracts behind byte-identical figure rendering
+// and the race-free serving plane.
 //
 // Usage:
 //
@@ -9,12 +11,15 @@
 //	vmplint ./internal/analytics  # one package
 //	vmplint -json ./...           # machine-readable findings
 //	vmplint -maporder=false ./... # disable one analyzer
+//	vmplint -only nondeterminism,maporder -tests ./...
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
 // on usage or load errors. Findings are suppressed one line at a time
 // with `//lint:ignore <analyzer> <reason>` on, or directly above, the
-// offending line. Test files are not linted: tests are free to use
-// wall clocks and fixed expectations.
+// offending line. By default test files are not linted — tests are
+// free to use fixed expectations — but -tests folds _test.go files
+// (in-package and external) into the run, which CI uses to keep
+// wall-clock time and map iteration order out of test expectations.
 package main
 
 import (
@@ -33,6 +38,8 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	withTests := flag.Bool("tests", false, "lint _test.go files too (in-package and external test packages)")
+	only := flag.String("only", "", "comma-separated list of analyzers to run, e.g. nondeterminism,maporder (overrides per-analyzer flags)")
 	enabled := make(map[string]*bool)
 	for _, a := range lint.Analyzers() {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
@@ -40,9 +47,25 @@ func run() int {
 	flag.Parse()
 
 	var analyzers []*lint.Analyzer
-	for _, a := range lint.Analyzers() {
-		if *enabled[a.Name] {
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range lint.Analyzers() {
+			byName[a.Name] = a
+		}
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "vmplint: unknown analyzer %q in -only\n", name)
+				return 2
+			}
 			analyzers = append(analyzers, a)
+		}
+	} else {
+		for _, a := range lint.Analyzers() {
+			if *enabled[a.Name] {
+				analyzers = append(analyzers, a)
+			}
 		}
 	}
 
@@ -68,15 +91,23 @@ func run() int {
 	}
 	var diags []lint.Diagnostic
 	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
+		var pkgs []*lint.Package
+		if *withTests {
+			pkgs, err = loader.LoadDirTests(dir)
+		} else {
+			var pkg *lint.Package
+			pkg, err = loader.LoadDir(dir)
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vmplint:", err)
 			return 2
 		}
-		if pkg == nil {
-			continue
+		for _, pkg := range pkgs {
+			diags = append(diags, lint.RunPackage(pkg, analyzers)...)
 		}
-		diags = append(diags, lint.RunPackage(pkg, analyzers)...)
 	}
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {

@@ -133,7 +133,8 @@ func TestIssueAndValidity(t *testing.T) {
 func TestIssueRefusesIncompatibleCDM(t *testing.T) {
 	ks, _ := NewKeyServer(dist.NewSource(1), 0, 0)
 	_, _, err := ks.Issue(Request{
-		ContentID: "c1", Device: model(t, "iPhone"), System: Widevine, Now: time.Now().UTC(),
+		ContentID: "c1", Device: model(t, "iPhone"), System: Widevine,
+		Now: time.Date(2017, time.June, 1, 0, 0, 0, 0, time.UTC),
 	})
 	if err == nil {
 		t.Fatal("Widevine on iPhone accepted")

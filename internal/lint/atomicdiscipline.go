@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicDiscipline enforces the serving plane's two atomics contracts
+// in internal/ and cmd/ code:
+//
+//  1. Mixed access: a variable or struct field that is ever passed to a
+//     sync/atomic function (atomic.AddInt64(&s.n, 1), atomic.LoadUint32,
+//     ...) must never be read or written plainly. A plain s.n++ next to
+//     an atomic add is a data race the race detector only catches when
+//     a test happens to interleave it; the analyzer rejects the mix
+//     outright. (Typed atomics — atomic.Int64, atomic.Pointer — are
+//     enforced by the type system and go vet's copylocks.)
+//
+//  2. Publish-then-mutate: a value reachable from an atomic.Pointer is
+//     shared with every reader the moment Store returns, and readers
+//     synchronize on nothing else — mutating it afterwards is a race.
+//     The analyzer flags writes through a value after it was passed to
+//     Store, and writes through anything derived from a Load result.
+//     The Load check rides the shared taint engine (one-level
+//     interprocedural), so a helper like Engine.Generation() that
+//     returns e.gen.Load() taints its callers too: the published
+//     generation stays immutable no matter how it is reached.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "forbid plain access to atomically-accessed fields and mutation of atomic.Pointer-published values",
+	Run:  runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(p *Pass) {
+	if !strings.HasPrefix(p.Path, "vmp/internal/") && !strings.HasPrefix(p.Path, "vmp/cmd/") {
+		return
+	}
+	p.checkMixedAtomicAccess()
+	p.checkPublishedMutation()
+}
+
+// checkMixedAtomicAccess implements rule 1: collect every variable the
+// package accesses through a sync/atomic function, then flag each
+// plain (non-atomic) read or write of the same variable.
+func (p *Pass) checkMixedAtomicAccess() {
+	// atomicObjs: variables (fields or package-level vars) whose
+	// address is passed to a sync/atomic function anywhere.
+	atomicObjs := make(map[types.Object]bool)
+	// insideAtomicArg: the &x argument nodes themselves, so the
+	// sanctioned access inside the atomic call is not reported.
+	insideAtomicArg := make(map[*ast.UnaryExpr]bool)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.isAtomicPkgCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := p.addressedVar(un.X); obj != nil {
+					atomicObjs[obj] = true
+					insideAtomicArg[un] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		// Composite-literal keys name the field without accessing shared
+		// state (the value is not yet published); skip them.
+		litKeys := make(map[*ast.Ident]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					litKeys[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if un, ok := n.(*ast.UnaryExpr); ok && insideAtomicArg[un] {
+				return false // the sanctioned atomic access itself
+			}
+			switch v := n.(type) {
+			case *ast.SelectorExpr:
+				if obj := p.Info.Uses[v.Sel]; obj != nil && atomicObjs[obj] {
+					p.reportMixedAtomic(v.Sel)
+				}
+			case *ast.Ident:
+				// Bare identifiers cover package-level variables; field
+				// uses always arrive through a SelectorExpr above (their
+				// objects are not package-scoped, so no double report).
+				if litKeys[v] {
+					return true
+				}
+				if obj := p.Info.Uses[v]; obj != nil && atomicObjs[obj] && obj.Parent() == p.Pkg.Scope() {
+					p.reportMixedAtomic(v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) reportMixedAtomic(id *ast.Ident) {
+	p.Reportf(id.Pos(),
+		"plain access to %s, which is accessed via sync/atomic elsewhere in this package; every read and write must go through atomic operations",
+		id.Name)
+}
+
+// isAtomicPkgCall reports whether call is a sync/atomic package
+// function call (atomic.AddInt64, atomic.LoadPointer, ...).
+func (p *Pass) isAtomicPkgCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn := p.pkgNameOf(id)
+	return pn != nil && pn.Imported().Path() == "sync/atomic"
+}
+
+// addressedVar resolves &expr's operand to a struct field or
+// package-level variable object worth tracking.
+func (p *Pass) addressedVar(e ast.Expr) types.Object {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		obj := p.objectOf(v.Sel)
+		if _, ok := obj.(*types.Var); ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := p.objectOf(v).(*types.Var); ok {
+			// Only package-level variables are shared state worth
+			// tracking; a local passed to atomic is its own business.
+			if obj.Parent() == p.Pkg.Scope() {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// checkPublishedMutation implements rule 2. Writes through Load
+// results go through the taint engine; writes after Store are a
+// source-position scan within each body.
+func (p *Pass) checkPublishedMutation() {
+	eng := p.newTaintEngine(p.isAtomicPointerLoad, true)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			eng.checkBody(fd.Body, func(pos token.Pos) {
+				p.Reportf(pos,
+					"write through a value loaded from an atomic.Pointer; published generations are immutable — build a new value and Store it")
+			})
+			p.checkMutationAfterStore(fd.Body)
+		}
+	}
+}
+
+// isAtomicPointerLoad reports whether call is a Load on a sync/atomic
+// typed atomic whose result aliases published memory (Pointer[T] or
+// Value).
+func (p *Pass) isAtomicPointerLoad(call *ast.CallExpr) bool {
+	name, ok := p.atomicMethod(call)
+	return ok && name == "Load"
+}
+
+// atomicMethod resolves call to a method name on a sync/atomic
+// Pointer or Value receiver.
+func (p *Pass) atomicMethod(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	selection, ok := p.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return "", false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	if obj.Name() != "Pointer" && obj.Name() != "Value" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkMutationAfterStore flags writes through a variable after it was
+// passed to an atomic Store in the same body: once published, the
+// value belongs to every concurrent reader.
+func (p *Pass) checkMutationAfterStore(body *ast.BlockStmt) {
+	// stored: object -> position of the Store that published it.
+	stored := make(map[types.Object]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if name, ok := p.atomicMethod(call); !ok || name != "Store" {
+			return true
+		}
+		arg := call.Args[0]
+		if un, ok := arg.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			arg = un.X
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil {
+				if _, seen := stored[obj]; !seen {
+					stored[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if len(stored) == 0 {
+		return
+	}
+	report := func(lhs ast.Expr) {
+		if _, ok := lhs.(*ast.Ident); ok {
+			return // rebinding the variable, not mutating the published value
+		}
+		root := rootExpr(lhs)
+		id, ok := root.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.objectOf(id)
+		pos, ok := stored[obj]
+		if !ok || lhs.Pos() <= pos {
+			return
+		}
+		p.Reportf(lhs.Pos(),
+			"%s was published via atomic Store and is now shared with every reader; mutating it afterwards is a race — build a new value and Store that",
+			id.Name)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(st.X)
+		}
+		return true
+	})
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChanDiscipline enforces the channel ownership and backpressure
+// contracts of the serving plane in internal/ and cmd/ code:
+//
+//   - a send inside a long-lived loop (`for {}` / `for cond {}` /
+//     range over a channel) must sit in a select with a cancellation
+//     branch — a context Done() or signal-channel receive — or the
+//     sending goroutine wedges forever the moment its receiver stops
+//     draining;
+//   - only the owning package closes a channel: closing a channel that
+//     arrived as a function parameter, or one reached through another
+//     package's type, races the true owner's sends;
+//   - a channel stored into a struct field whose element type carries
+//     data must be bounded: `make(chan T)` in a queue position has no
+//     admission control, so producers block instead of shedding load —
+//     the explicit-backpressure contract requires a capacity. Signal
+//     channels (struct{} elements) and channel-of-channel plumbing
+//     (flush-ack protocols) are exempt.
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc:  "enforce cancellable sends, owner-only close, and bounded queue channels",
+	Run:  runChanDiscipline,
+}
+
+func runChanDiscipline(p *Pass) {
+	if !strings.HasPrefix(p.Path, "vmp/internal/") && !strings.HasPrefix(p.Path, "vmp/cmd/") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkSendsInLoops(fd.Body)
+			p.checkCloseOwnership(fd)
+		}
+		p.checkUnboundedQueues(f)
+	}
+}
+
+// checkSendsInLoops flags sends in long-lived loops that are not
+// select cases guarded by a cancellation branch.
+func (p *Pass) checkSendsInLoops(body *ast.BlockStmt) {
+	// Collect the send statements that are properly guarded: a case of
+	// a select that also has a cancellation-receive case.
+	guarded := make(map[*ast.SendStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasCancel := false
+		var sends []*ast.SendStmt
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				sends = append(sends, comm)
+			case *ast.ExprStmt:
+				if un, ok := comm.X.(*ast.UnaryExpr); ok && p.isCancellationChan(un.X) {
+					hasCancel = true
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					if un, ok := rhs.(*ast.UnaryExpr); ok && p.isCancellationChan(un.X) {
+						hasCancel = true
+					}
+				}
+			}
+		}
+		if hasCancel {
+			for _, s := range sends {
+				guarded[s] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, inLongLoop bool)
+	walk = func(n ast.Node, inLongLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.FuncLit:
+				if m == n {
+					return true
+				}
+				walk(v.Body, false)
+				return false
+			case *ast.ForStmt:
+				if m == n {
+					return true
+				}
+				// Init/Post clauses mean a counted loop; a bare or
+				// condition-only for is the daemon-loop shape.
+				walk(v.Body, inLongLoop || (v.Init == nil && v.Post == nil))
+				return false
+			case *ast.RangeStmt:
+				if m == n {
+					return true
+				}
+				long := inLongLoop
+				if t := p.Info.TypeOf(v.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						long = true // receive loop runs until close
+					}
+				}
+				walk(v.Body, long)
+				return false
+			case *ast.SendStmt:
+				if inLongLoop && !guarded[v] {
+					p.Reportf(v.Pos(),
+						"send inside a long-lived loop without a cancellation branch; a stopped receiver wedges this goroutine — select on the send with a context/quit receive")
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// checkCloseOwnership flags close calls on channels the function does
+// not own: parameters (the sender that handed them in owns them) and
+// channels reached through another package's type.
+func (p *Pass) checkCloseOwnership(fd *ast.FuncDecl) {
+	params := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "close" {
+			return true
+		}
+		if b, ok := p.objectOf(fn).(*types.Builtin); !ok || b.Name() != "close" {
+			return true
+		}
+		switch arg := call.Args[0].(type) {
+		case *ast.Ident:
+			if obj := p.objectOf(arg); obj != nil && params[obj] {
+				p.Reportf(call.Pos(),
+					"close of channel parameter %s; the sender that created the channel owns closing it — return instead, or document transfer of ownership in the owning package",
+					arg.Name)
+			}
+		case *ast.SelectorExpr:
+			if base := p.Info.TypeOf(arg.X); base != nil && p.foreignNamed(base) {
+				p.Reportf(call.Pos(),
+					"close of a channel owned by another package's type; only the owning package may close — add a Close/Stop method there")
+			}
+		}
+		return true
+	})
+}
+
+// foreignNamed reports whether t (through one pointer) is a named type
+// defined outside the package under analysis.
+func (p *Pass) foreignNamed(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg() != p.Pkg
+}
+
+// checkUnboundedQueues flags unbuffered make(chan T) stored into
+// struct fields when T carries data.
+func (p *Pass) checkUnboundedQueues(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.KeyValueExpr:
+			call, ok := v.Value.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := v.Key.(*ast.Ident); ok {
+				if fv, ok := p.objectOf(id).(*types.Var); ok && fv.IsField() {
+					p.checkQueueMake(call)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				if _, ok := lhs.(*ast.SelectorExpr); !ok {
+					continue
+				}
+				if call, ok := v.Rhs[i].(*ast.CallExpr); ok {
+					p.checkQueueMake(call)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkQueueMake reports call if it is an unbuffered make of a
+// data-carrying channel.
+func (p *Pass) checkQueueMake(call *ast.CallExpr) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "make" || len(call.Args) != 1 {
+		return // buffered (capacity argument present) or not a make
+	}
+	if b, ok := p.objectOf(fn).(*types.Builtin); !ok || b.Name() != "make" {
+		return
+	}
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return
+	}
+	elem := ch.Elem().Underlying()
+	if st, ok := elem.(*types.Struct); ok && st.NumFields() == 0 {
+		return // signal channel
+	}
+	if _, ok := elem.(*types.Chan); ok {
+		return // ack/handshake plumbing
+	}
+	p.Reportf(call.Pos(),
+		"unbuffered channel in a queue position; unbounded blocking replaces the explicit-backpressure contract — give make a capacity and reject when full")
+}

@@ -20,6 +20,10 @@ import (
 // assignments, compound assignments, and ++/-- that write through a
 // tainted expression. Rebinding a tainted variable itself (recs = nil)
 // is not a write-through and stays legal.
+//
+// The taint is one-level interprocedural (see taintEngine): a
+// package-local helper that returns a Dataset view taints its callers'
+// results, so wrapping an accessor does not launder the alias.
 var FrozenWrite = &Analyzer{
 	Name: "frozenwrite",
 	Doc:  "forbid writes through telemetry.Dataset views outside internal/telemetry",
@@ -36,110 +40,19 @@ func runFrozenWrite(p *Pass) {
 	if p.Path == telemetryPath || strings.HasPrefix(p.Path, telemetryPath+"/") {
 		return
 	}
+	eng := p.newTaintEngine(p.isFrozenAccessor, false)
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			p.checkFrozenWrites(fd.Body)
+			eng.checkBody(fd.Body, func(pos token.Pos) {
+				p.Reportf(pos,
+					"write through a telemetry.Dataset view; the frozen dataset is immutable outside internal/telemetry (copy before mutating)")
+			})
 		}
 	}
-}
-
-func (p *Pass) checkFrozenWrites(body *ast.BlockStmt) {
-	tainted := make(map[types.Object]bool)
-
-	// Propagate taint through local assignments to a fixpoint (the
-	// taint lattice only grows, so this terminates quickly).
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				if len(st.Lhs) != len(st.Rhs) {
-					return true
-				}
-				for i, lhs := range st.Lhs {
-					id, ok := lhs.(*ast.Ident)
-					if !ok || id.Name == "_" {
-						continue
-					}
-					obj := p.objectOf(id)
-					if obj == nil || tainted[obj] || !mutableRefType(obj.Type()) {
-						continue
-					}
-					if p.taintedExpr(st.Rhs[i], tainted) {
-						tainted[obj] = true
-						changed = true
-					}
-				}
-			case *ast.RangeStmt:
-				if !p.taintedExpr(st.X, tainted) {
-					return true
-				}
-				if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
-					obj := p.objectOf(id)
-					if obj != nil && !tainted[obj] && mutableRefType(obj.Type()) {
-						tainted[obj] = true
-						changed = true
-					}
-				}
-			}
-			return true
-		})
-	}
-
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.AssignStmt:
-			if st.Tok == token.DEFINE {
-				return true
-			}
-			for _, lhs := range st.Lhs {
-				p.reportFrozenWrite(lhs, tainted)
-			}
-		case *ast.IncDecStmt:
-			p.reportFrozenWrite(st.X, tainted)
-		}
-		return true
-	})
-}
-
-// reportFrozenWrite flags lhs when it writes through tainted memory.
-// A bare identifier only rebinds the variable, so it is skipped.
-func (p *Pass) reportFrozenWrite(lhs ast.Expr, tainted map[types.Object]bool) {
-	if _, ok := lhs.(*ast.Ident); ok {
-		return
-	}
-	if p.taintedExpr(lhs, tainted) {
-		p.Reportf(lhs.Pos(),
-			"write through a telemetry.Dataset view; the frozen dataset is immutable outside internal/telemetry (copy before mutating)")
-	}
-}
-
-// taintedExpr reports whether e reaches Dataset-aliased memory.
-func (p *Pass) taintedExpr(e ast.Expr, tainted map[types.Object]bool) bool {
-	switch v := e.(type) {
-	case *ast.Ident:
-		obj := p.objectOf(v)
-		return obj != nil && tainted[obj]
-	case *ast.CallExpr:
-		return p.isFrozenAccessor(v)
-	case *ast.IndexExpr:
-		return p.taintedExpr(v.X, tainted)
-	case *ast.SliceExpr:
-		return p.taintedExpr(v.X, tainted)
-	case *ast.SelectorExpr:
-		return p.taintedExpr(v.X, tainted)
-	case *ast.StarExpr:
-		return p.taintedExpr(v.X, tainted)
-	case *ast.ParenExpr:
-		return p.taintedExpr(v.X, tainted)
-	case *ast.UnaryExpr:
-		return v.Op == token.AND && p.taintedExpr(v.X, tainted)
-	}
-	return false
 }
 
 // isFrozenAccessor reports whether call is a method call on

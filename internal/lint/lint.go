@@ -1,9 +1,10 @@
 // Package lint is a self-contained static-analysis driver (in the
 // spirit of golang.org/x/tools/go/analysis, but stdlib-only) that
-// machine-checks the reproducibility invariants the parallel study
-// engine depends on. Five analyzers enforce the contracts that keep
-// every figure byte-identical across runs and across the serial and
-// parallel render paths:
+// machine-checks the invariants the study engine and the live serving
+// plane depend on. Nine analyzers enforce the contracts that keep
+// every figure byte-identical across runs, across the serial and
+// parallel render paths, and across the offline and online query
+// paths:
 //
 //   - nondeterminism: wall-clock and process-seeded randomness stay
 //     out of library code; time flows through simclock, randomness
@@ -12,18 +13,31 @@
 //     map iteration order.
 //   - frozenwrite: telemetry.Dataset is immutable outside its own
 //     package — the contract the race-free parallel figure pool
-//     relies on.
+//     relies on. One-level interprocedural: helpers returning views
+//     taint their callers.
 //   - lockdiscipline: mutex-holding types neither re-enter their own
 //     locks nor leak internal slices from under them.
 //   - errcheck: internal/ and cmd/ code does not silently drop error
 //     returns.
+//   - atomicdiscipline: atomically-accessed state is never touched
+//     plainly, and values published through an atomic.Pointer are
+//     never mutated afterwards.
+//   - goroutinelifecycle: every long-lived goroutine is tied to a
+//     shutdown path, so daemons cannot leak consumers.
+//   - chandiscipline: sends in daemon loops are cancellable, channels
+//     are closed only by their owner, and queue channels are bounded.
+//   - ctxflow: caller contexts (r.Context(), ctx parameters) are
+//     threaded into blocking work; bare time.Sleep is forbidden.
 //
 // Findings can be suppressed, one line at a time, with a directive
 // comment carrying an explicit reason:
 //
 //	//lint:ignore <analyzer|all> <reason>
 //
-// placed on the offending line or the line directly above it.
+// placed on the offending line or the line directly above it. The
+// reason is load-bearing: a directive without one (or with a trailing
+// comment posing as one) is itself reported, as analyzer "ignore",
+// and suppresses nothing.
 package lint
 
 import (
@@ -97,7 +111,10 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Nondeterminism, MapOrder, FrozenWrite, LockDiscipline, ErrCheck}
+	return []*Analyzer{
+		Nondeterminism, MapOrder, FrozenWrite, LockDiscipline, ErrCheck,
+		AtomicDiscipline, GoroutineLifecycle, ChanDiscipline, CtxFlow,
+	}
 }
 
 // RunPackage runs the analyzers over one loaded package and returns
@@ -117,7 +134,11 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
-	diags = suppress(diags, collectIgnores(pkg))
+	ignores, malformed := collectIgnores(pkg)
+	diags = suppress(diags, ignores)
+	// Malformed directives are findings in their own right — a missing
+	// reason breaks the suite's audit trail — and cannot be suppressed.
+	diags = append(diags, malformed...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -149,23 +170,37 @@ type ignoreDirective struct {
 }
 
 // collectIgnores parses //lint:ignore directives, keyed by file and
-// line. A directive needs both an analyzer name (or "all") and a
-// non-empty reason; malformed directives are inert, so the diagnostic
-// they meant to silence still fires.
-func collectIgnores(pkg *Package) map[string]map[int][]ignoreDirective {
+// line. A well-formed directive needs an analyzer name (or "all") and
+// a non-empty reason that is real prose, not a trailing comment.
+// Malformed directives are inert — the diagnostic they meant to
+// silence still fires — and are additionally returned as "ignore"
+// findings so a reasonless suppression can never merge.
+func collectIgnores(pkg *Package) (map[string]map[int][]ignoreDirective, []Diagnostic) {
 	out := make(map[string]map[int][]ignoreDirective)
+	var malformed []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
 				if !ok {
 					continue
 				}
-				name, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
-				if !ok || name == "" || strings.TrimSpace(reason) == "" {
-					continue
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other directive, e.g. //lint:ignoreme
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" || strings.HasPrefix(reason, "//") {
+					malformed = append(malformed, Diagnostic{
+						Analyzer: "ignore",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "//lint:ignore directive is missing its mandatory reason; write //lint:ignore <analyzer|all> <reason>",
+					})
+					continue
+				}
 				byLine := out[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int][]ignoreDirective)
@@ -175,7 +210,7 @@ func collectIgnores(pkg *Package) map[string]map[int][]ignoreDirective {
 			}
 		}
 	}
-	return out
+	return out, malformed
 }
 
 // suppress drops diagnostics covered by a directive on the same line

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// BenchmarkLintTree times one cold nine-analyzer run over the whole
+// module: loader construction, parsing, type-checking, and every
+// analyzer over every package — the same work `make lint`'s first
+// invocation does. `make bench-lint` runs it; the result is recorded
+// in BENCH_lint.json so analyzer additions that regress lint latency
+// show up in review.
+func BenchmarkLintTree(b *testing.B) {
+	dirs := moduleDirs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loader, err := NewLoader("../..")
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded := 0
+		for _, dir := range dirs {
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pkg == nil {
+				continue
+			}
+			loaded++
+			if diags := RunPackage(pkg, Analyzers()); len(diags) != 0 {
+				b.Fatalf("tree is not lint-clean: %s", diags[0])
+			}
+		}
+		if loaded == 0 {
+			b.Fatal("no packages loaded")
+		}
+	}
+}
+
+// moduleDirs lists the module's package directories the same way
+// vmplint's ./... expansion does.
+func moduleDirs(b *testing.B) []string {
+	b.Helper()
+	root := filepath.Join("..", "..")
+	var dirs []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dirs
+}

@@ -123,6 +123,20 @@ func TestLockDisciplineFixture(t *testing.T) {
 
 func TestErrCheckFixture(t *testing.T) { checkFixture(t, "errcheck", "vmp/internal/errfix") }
 
+func TestAtomicDisciplineFixture(t *testing.T) {
+	checkFixture(t, "atomicdiscipline", "vmp/internal/atomicfix")
+}
+
+func TestGoroutineLifecycleFixture(t *testing.T) {
+	checkFixture(t, "goroutinelifecycle", "vmp/internal/gofix")
+}
+
+func TestChanDisciplineFixture(t *testing.T) {
+	checkFixture(t, "chandiscipline", "vmp/internal/chanfix")
+}
+
+func TestCtxFlowFixture(t *testing.T) { checkFixture(t, "ctxflow", "vmp/internal/ctxfix") }
+
 func TestIgnoreDirectives(t *testing.T) { checkFixture(t, "ignore", "vmp/internal/ignorefix") }
 
 // TestSimclockExemption proves wall-clock reads are legal in the one
@@ -150,6 +164,72 @@ func TestErrCheckScopedToModule(t *testing.T) {
 	diags := RunPackage(loadFixture(t, "errcheck", "example.com/outside"), Analyzers())
 	for _, d := range diags {
 		t.Errorf("unexpected finding outside vmp/internal and vmp/cmd: %s", d)
+	}
+}
+
+// TestConcurrencyAnalyzersScopedToModule reloads each concurrency
+// fixture under an external import path; the whole v2 suite is scoped
+// to vmp/internal and vmp/cmd.
+func TestConcurrencyAnalyzersScopedToModule(t *testing.T) {
+	for _, dir := range []string{"atomicdiscipline", "goroutinelifecycle", "chandiscipline", "ctxflow"} {
+		diags := RunPackage(loadFixture(t, dir, "example.com/outside"), Analyzers())
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding outside vmp/internal and vmp/cmd: %s", dir, d)
+		}
+	}
+}
+
+// TestSelfLint runs the full suite over the lint package and its
+// command: the analyzers hold their own code to the same contracts
+// they enforce on the rest of the tree.
+func TestSelfLint(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []string{".", filepath.Join("..", "..", "cmd", "vmplint")} {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkg == nil {
+			t.Fatalf("no package in %s", dir)
+		}
+		for _, d := range RunPackage(pkg, Analyzers()) {
+			t.Errorf("self-lint finding: %s", d)
+		}
+	}
+}
+
+// TestLoadDirTests pins the -tests loading shape: in-package test
+// files merge into the package, and an external _test package loads
+// under its own path so the suite can police test code too.
+func TestLoadDirTests(t *testing.T) {
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDirTests(filepath.Join("..", "manifest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("LoadDirTests(internal/manifest) = %d packages, want 2 (merged + external test)", len(pkgs))
+	}
+	if pkgs[0].Path != "vmp/internal/manifest" || pkgs[1].Path != "vmp/internal/manifest_test" {
+		t.Fatalf("paths = %q, %q", pkgs[0].Path, pkgs[1].Path)
+	}
+	hasTestFile := false
+	for _, f := range pkgs[0].Files {
+		if strings.HasSuffix(pkgs[0].Fset.Position(f.Pos()).Filename, "_test.go") {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("merged package contains no in-package _test.go files")
+	}
+	if len(pkgs[1].Files) == 0 {
+		t.Error("external test package loaded no files")
 	}
 }
 

@@ -161,8 +161,13 @@ func (l *Loader) parseDir(dir string, mode parser.Mode) ([]*ast.File, error) {
 	if err != nil {
 		return nil, err
 	}
+	return l.parseFiles(dir, bp.GoFiles, mode)
+}
+
+// parseFiles parses the named files in dir.
+func (l *Loader) parseFiles(dir string, names []string, mode parser.Mode) ([]*ast.File, error) {
 	var files []*ast.File
-	for _, name := range bp.GoFiles {
+	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
 		if err != nil {
 			return nil, err
@@ -176,19 +181,72 @@ func (l *Loader) parseDir(dir string, mode parser.Mode) ([]*ast.File, error) {
 // import path from the module root. Directories holding no buildable
 // Go files return (nil, nil).
 func (l *Loader) LoadDir(dir string) (*Package, error) {
-	abs, err := filepath.Abs(dir)
+	path, err := l.pathFor(dir)
 	if err != nil {
 		return nil, err
+	}
+	return l.LoadDirWithPath(dir, path)
+}
+
+// pathFor derives a directory's import path from the module root.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
 	}
 	rel, err := filepath.Rel(l.root, abs)
 	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDirTests loads dir with its test files included: the package
+// re-type-checked with in-package _test.go files merged in, plus the
+// external test package (import path + "_test") when one exists —
+// the shape `go test` compiles. Directories with no Go files at all
+// return (nil, nil).
+func (l *Loader) LoadDirTests(dir string) ([]*Package, error) {
+	path, err := l.pathFor(dir)
+	if err != nil {
 		return nil, err
 	}
-	path := l.modulePath
-	if rel != "." {
-		path = l.modulePath + "/" + filepath.ToSlash(rel)
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, err
 	}
-	return l.LoadDirWithPath(dir, path)
+	mode := parser.ParseComments | parser.SkipObjectResolution
+	var pkgs []*Package
+	names := append(append([]string(nil), bp.GoFiles...), bp.TestGoFiles...)
+	if len(names) > 0 {
+		files, err := l.parseFiles(dir, names, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", dir, err)
+		}
+		pkg, err := l.checkFiles(dir, path, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(bp.XTestGoFiles) > 0 {
+		files, err := l.parseFiles(dir, bp.XTestGoFiles, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", dir, err)
+		}
+		pkg, err := l.checkFiles(dir, path+"_test", files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
 }
 
 // LoadDirWithPath loads the package in dir under an explicit import
@@ -206,6 +264,12 @@ func (l *Loader) LoadDirWithPath(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: parsing %s: %w", dir, err)
 	}
+	return l.checkFiles(dir, path, files)
+}
+
+// checkFiles type-checks already-parsed files as one lint target under
+// the given import path.
+func (l *Loader) checkFiles(dir, path string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),

@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// taintEngine is the shared alias-taint machinery behind frozenwrite
+// and atomicdiscipline: starting from analyzer-specific source calls
+// (Dataset accessors, atomic.Pointer loads), it propagates taint
+// through local assignments and range statements to a fixpoint, then
+// reports writes through tainted memory.
+//
+// The engine is one-level interprocedural: before any body is checked,
+// every function declaration in the package is summarized by running
+// the purely intra-function taint over its body and asking whether any
+// return expression reaches tainted memory. A call to a summarized
+// function then taints the caller's result — so a helper like
+//
+//	func (e *Engine) Generation() *Generation { return e.gen.Load() }
+//
+// carries its taint to every caller without whole-program analysis.
+// Summaries are deliberately not iterated to a fixpoint: one level is
+// what the serving plane's accessor helpers need, and deeper chains
+// stay out of false-positive territory.
+type taintEngine struct {
+	p *Pass
+
+	// source reports whether a call originates tainted memory
+	// (analyzer-specific: frozen accessors, atomic pointer loads).
+	source func(*ast.CallExpr) bool
+
+	// propagateRecv additionally taints the result of any method call
+	// whose receiver is tainted (v.Dataset.All() when v is tainted).
+	propagateRecv bool
+
+	// summaries marks package functions whose results are tainted.
+	summaries map[types.Object]bool
+}
+
+// newTaintEngine builds an engine and computes the one-level
+// interprocedural summaries for the package under analysis.
+func (p *Pass) newTaintEngine(source func(*ast.CallExpr) bool, propagateRecv bool) *taintEngine {
+	t := &taintEngine{p: p, source: source, propagateRecv: propagateRecv}
+	t.computeSummaries()
+	return t
+}
+
+// computeSummaries fills t.summaries: a function is summarized tainted
+// when some return expression of its body reaches tainted memory under
+// the intra-function taint alone. Returns inside function literals
+// belong to the literal, not the declaration, and are skipped.
+func (t *taintEngine) computeSummaries() {
+	// Collect into a fresh map while t.summaries stays empty: summaries
+	// must be strictly source-derived (one level), not dependent on the
+	// order declarations happen to be visited.
+	t.summaries = make(map[types.Object]bool)
+	sums := make(map[types.Object]bool)
+	for _, f := range t.p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+				continue
+			}
+			obj := t.p.Info.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			tainted := t.localTaint(fd.Body)
+			returnsTainted := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || returnsTainted {
+					return true
+				}
+				for _, res := range ret.Results {
+					if t.taintedExpr(res, tainted) {
+						returnsTainted = true
+					}
+				}
+				return true
+			})
+			if returnsTainted {
+				sums[obj] = true
+			}
+		}
+	}
+	t.summaries = sums
+}
+
+// localTaint propagates taint through one body's assignments and range
+// statements to a fixpoint (the taint lattice only grows, so this
+// terminates quickly).
+func (t *taintEngine) localTaint(body *ast.BlockStmt) map[types.Object]bool {
+	tainted := make(map[types.Object]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj := t.p.objectOf(id)
+					if obj == nil || tainted[obj] || !mutableRefType(obj.Type()) {
+						continue
+					}
+					if t.taintedExpr(st.Rhs[i], tainted) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if !t.taintedExpr(st.X, tainted) {
+					return true
+				}
+				if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+					obj := t.p.objectOf(id)
+					if obj != nil && !tainted[obj] && mutableRefType(obj.Type()) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// checkBody reports every write through tainted memory in body via
+// reportf. Rebinding a tainted variable itself (v = nil) is not a
+// write-through and stays legal.
+func (t *taintEngine) checkBody(body *ast.BlockStmt, reportf func(pos token.Pos)) {
+	tainted := t.localTaint(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if _, ok := lhs.(*ast.Ident); ok {
+					continue
+				}
+				if t.taintedExpr(lhs, tainted) {
+					reportf(lhs.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, ok := st.X.(*ast.Ident); ok {
+				return true
+			}
+			if t.taintedExpr(st.X, tainted) {
+				reportf(st.X.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e reaches tainted memory.
+func (t *taintEngine) taintedExpr(e ast.Expr, tainted map[types.Object]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := t.p.objectOf(v)
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		return t.taintedCall(v, tainted)
+	case *ast.IndexExpr:
+		return t.taintedExpr(v.X, tainted)
+	case *ast.SliceExpr:
+		return t.taintedExpr(v.X, tainted)
+	case *ast.SelectorExpr:
+		return t.taintedExpr(v.X, tainted)
+	case *ast.StarExpr:
+		return t.taintedExpr(v.X, tainted)
+	case *ast.ParenExpr:
+		return t.taintedExpr(v.X, tainted)
+	case *ast.UnaryExpr:
+		return v.Op == token.AND && t.taintedExpr(v.X, tainted)
+	}
+	return false
+}
+
+// taintedCall reports whether a call originates or forwards taint: a
+// direct source, a call to a function summarized as returning tainted
+// memory, or (with propagateRecv) a method call on a tainted receiver.
+func (t *taintEngine) taintedCall(call *ast.CallExpr, tainted map[types.Object]bool) bool {
+	if t.source(call) {
+		return true
+	}
+	if obj := t.p.calleeObject(call); obj != nil && t.summaries[obj] {
+		return true
+	}
+	if t.propagateRecv {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if s, ok := t.p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				return t.taintedExpr(sel.X, tainted)
+			}
+		}
+	}
+	return false
+}
+
+// calleeObject resolves the called function or method, or nil for
+// indirect calls and conversions.
+func (p *Pass) calleeObject(call *ast.CallExpr) types.Object {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return p.objectOf(fn)
+	case *ast.SelectorExpr:
+		return p.objectOf(fn.Sel)
+	}
+	return nil
+}

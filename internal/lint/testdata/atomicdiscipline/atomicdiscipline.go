@@ -1,0 +1,99 @@
+// Package atomicdiscipline exercises both atomicdiscipline rules.
+// Mixed access: fields and package-level variables that are ever
+// passed to a sync/atomic function must never be touched plainly.
+// Publish-then-mutate: values reachable from an atomic.Pointer (by
+// Load, through a one-level helper, or after Store) are immutable.
+// The tests also load this package under an external import path,
+// which the analyzer does not police.
+package atomicdiscipline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64 // accessed via sync/atomic
+	m  int64 // accessed only under mu
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n) // the sanctioned access form
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want atomicdiscipline "plain access to n"
+}
+
+func (c *counter) racyWrite() {
+	c.n++ // want atomicdiscipline "plain access to n"
+}
+
+func (c *counter) lockedFieldIsFine() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m++ // m never goes through sync/atomic; the mutex is its story
+	return c.m
+}
+
+func newCounter() *counter {
+	return &counter{n: 0} // a literal key names the field before publication
+}
+
+var hits int64 // package-level state accessed via sync/atomic
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func reportHits() int64 {
+	return hits // want atomicdiscipline "plain access to hits"
+}
+
+type generation struct {
+	id    int
+	items []string
+}
+
+type engine struct {
+	gen atomic.Pointer[generation]
+}
+
+// current is the one-level interprocedural case: its summary carries
+// the Load taint to every caller.
+func (e *engine) current() *generation {
+	return e.gen.Load()
+}
+
+func (e *engine) mutateLoaded() {
+	g := e.gen.Load()
+	g.id = 7 // want atomicdiscipline "write through a value loaded from an atomic.Pointer"
+}
+
+func (e *engine) mutateViaHelper() {
+	g := e.current()
+	g.items[0] = "x" // want atomicdiscipline "write through a value loaded from an atomic.Pointer"
+}
+
+func (e *engine) mutateAfterStore() {
+	g := &generation{id: 1}
+	e.gen.Store(g)
+	g.id = 2 // want atomicdiscipline "published via atomic Store"
+}
+
+func (e *engine) buildThenStoreIsLegal() {
+	g := &generation{id: 1}
+	g.items = append(g.items, "a") // mutation before publication is private
+	e.gen.Store(g)
+}
+
+func (e *engine) copyIsLegal() generation {
+	g := *e.gen.Load()
+	g.id = 9 // the value copy is the caller's to mutate
+	return g
+}

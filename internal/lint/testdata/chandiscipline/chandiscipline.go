@@ -1,0 +1,87 @@
+// Package chandiscipline exercises the chandiscipline analyzer:
+// sends in long-lived loops need a cancellation branch, only the
+// owning package closes a channel, and data-carrying channels in
+// queue positions must be bounded. The tests also load this package
+// under an external import path, which the analyzer does not police.
+package chandiscipline
+
+import (
+	"context"
+
+	"vmp/internal/lint/testdata/chandiscipline/chanown"
+)
+
+type ingest struct {
+	queue chan []byte
+	quit  chan struct{}
+	flush chan chan struct{}
+}
+
+func newIngest() *ingest {
+	return &ingest{
+		queue: make(chan []byte),        // want chandiscipline "unbuffered channel in a queue position"
+		quit:  make(chan struct{}),      // signal channel: exempt
+		flush: make(chan chan struct{}), // ack plumbing: exempt
+	}
+}
+
+func newBoundedIngest() *ingest {
+	return &ingest{
+		queue: make(chan []byte, 128), // capacity is the backpressure contract
+		quit:  make(chan struct{}),
+		flush: make(chan chan struct{}),
+	}
+}
+
+func (in *ingest) rebindUnbounded() {
+	in.queue = make(chan []byte) // want chandiscipline "unbuffered channel in a queue position"
+}
+
+func unguardedSend(out chan int) {
+	for {
+		out <- 1 // want chandiscipline "send inside a long-lived loop without a cancellation branch"
+	}
+}
+
+func guardedSend(ctx context.Context, out chan int) {
+	for {
+		select {
+		case out <- 1:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func quitGuardedSend(quit chan struct{}, out chan int) {
+	for {
+		select {
+		case out <- 1:
+		case <-quit:
+			return
+		}
+	}
+}
+
+func boundedLoopSend(out chan int, xs []int) {
+	for _, x := range xs {
+		out <- x // counted loop: the producer finishes on its own
+	}
+}
+
+func closeOwnChannel() {
+	ch := make(chan int, 1)
+	close(ch) // the creator owns the close
+}
+
+func (in *ingest) shutdown() {
+	close(in.quit) // own package's field: the owner closing its channel
+}
+
+func closeParam(ch chan int) {
+	close(ch) // want chandiscipline "close of channel parameter ch"
+}
+
+func closeForeign(f *chanown.Feed) {
+	close(f.C) // want chandiscipline "close of a channel owned by another package's type"
+}

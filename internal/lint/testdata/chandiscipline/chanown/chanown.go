@@ -1,0 +1,8 @@
+// Package chanown owns a type with an exported channel; closing it
+// from outside is the ownership violation chandiscipline rejects.
+package chanown
+
+// Feed carries events to subscribers; only this package may close C.
+type Feed struct {
+	C chan int
+}

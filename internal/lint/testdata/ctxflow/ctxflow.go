@@ -1,0 +1,52 @@
+// Package ctxflow exercises the ctxflow analyzer: functions that
+// already have a caller context (a context.Context parameter or an
+// *http.Request) must thread it instead of minting a fresh root, and
+// time.Sleep is forbidden outright. The tests also load this package
+// under an external import path, which the analyzer does not police.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func run(ctx context.Context, q string) error {
+	_ = q
+	return ctx.Err()
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want ctxflow "time.Sleep blocks with no way to cancel"
+}
+
+func freshRootWithCtx(ctx context.Context, q string) error {
+	sub := context.Background() // want ctxflow "context.Background mints a fresh root"
+	return run(sub, q)
+}
+
+func todoWithCtx(ctx context.Context) error {
+	return run(context.TODO(), "") // want ctxflow "context.TODO mints a fresh root"
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	_ = run(context.Background(), r.URL.Path) // want ctxflow "context.Background mints a fresh root"
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	_ = run(r.Context(), r.URL.Path) // the client's cancellation reaches run
+}
+
+func threaded(ctx context.Context) error {
+	return run(ctx, "ok")
+}
+
+func noCallerContext(q string) error {
+	return run(context.Background(), q) // nothing to thread: minting is legal here
+}
+
+// main is exempt even in scope: the root context has to come from
+// somewhere.
+func main() {
+	_ = run(context.Background(), "boot")
+}

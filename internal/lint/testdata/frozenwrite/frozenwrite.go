@@ -51,3 +51,20 @@ func valueCopyIsLegal(d *telemetry.Dataset) telemetry.ViewRecord {
 	rec.Live = true // the copy is the caller's to mutate
 	return rec
 }
+
+// viewHelper is the one-level interprocedural case: it returns a view,
+// so its summary taints every caller's result.
+func viewHelper(d *telemetry.Dataset) []telemetry.ViewRecord {
+	return d.All()
+}
+
+func writeThroughHelper(d *telemetry.Dataset) {
+	recs := viewHelper(d)
+	recs[0].Live = true // want frozenwrite "write through a telemetry.Dataset view"
+}
+
+func helperValueCopyIsLegal(d *telemetry.Dataset) telemetry.ViewRecord {
+	rec := viewHelper(d)[0]
+	rec.Live = true // the element copy is the caller's to mutate
+	return rec
+}

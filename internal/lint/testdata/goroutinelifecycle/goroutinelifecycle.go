@@ -1,0 +1,126 @@
+// Package goroutinelifecycle exercises the goroutinelifecycle
+// analyzer: looping goroutines must carry a shutdown path (context or
+// signal-channel receive, range over a channel, or WaitGroup.Done);
+// one-shot goroutines are exempt; opaque callees need a context
+// argument. The tests also load this package under an external import
+// path, which the analyzer does not police.
+package goroutinelifecycle
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type worker struct {
+	quit chan struct{}
+	jobs chan int
+	wg   sync.WaitGroup
+}
+
+func spin() {}
+
+func leakyDaemon() {
+	go func() { // want goroutinelifecycle "long-lived goroutine has no shutdown path"
+		for {
+			spin()
+		}
+	}()
+}
+
+func ctxSelectLoop(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func quitChanLoop(w *worker) {
+	go func() {
+		for {
+			select {
+			case <-w.quit:
+				return
+			case j := <-w.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func rangeOverChannel(jobs chan int) {
+	go func() {
+		for j := range jobs { // ends when the owner closes jobs
+			_ = j
+		}
+	}()
+}
+
+func waitGroupWorker(w *worker, jobs []int) {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done() // tied into the owner's Wait
+		for _, j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func oneShot() {
+	go spin() // no loop: runs to completion on its own
+}
+
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case j := <-w.jobs:
+			_ = j
+		}
+	}
+}
+
+func samePackageMethod(w *worker) {
+	go w.run() // blessed through run's own select loop
+}
+
+func indirectWithContext(ctx context.Context, f func(context.Context)) {
+	go f(ctx) // opaque callee, but the context argument ties it to shutdown
+}
+
+func indirectOpaque(f func()) {
+	go f() // want goroutinelifecycle "no visible body and no context argument"
+}
+
+// tickerRangeIsNotAShutdownPath: Stop never closes a Ticker's C, so
+// ranging over it loops forever.
+func tickerRangeIsNotAShutdownPath(work func()) {
+	tick := time.NewTicker(time.Second)
+	go func() { // want goroutinelifecycle "long-lived goroutine has no shutdown path"
+		for range tick.C {
+			work()
+		}
+	}()
+}
+
+func tickerSelectLoop(ctx context.Context, work func()) {
+	tick := time.NewTicker(time.Second)
+	go func() {
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				work()
+			}
+		}
+	}()
+}

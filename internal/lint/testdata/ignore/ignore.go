@@ -1,7 +1,9 @@
 // Package ignore exercises //lint:ignore suppression: a well-formed
 // directive (analyzer or "all", plus a non-empty reason) on the
-// finding's line or the line above silences it; malformed or
-// mismatched directives are inert.
+// finding's line or the line above silences it; a directive without a
+// reason is inert and is itself reported as an "ignore" finding; a
+// directive naming analyzer A never silences analyzer B, even on the
+// same line.
 package ignore
 
 import "time"
@@ -16,11 +18,19 @@ func trailingDirective() time.Time {
 }
 
 func missingReason() time.Time {
-	//lint:ignore nondeterminism
+	//lint:ignore nondeterminism // want ignore "missing its mandatory reason"
 	return time.Now() // want nondeterminism "time.Now reads the wall clock"
 }
 
 func wrongAnalyzer() time.Time {
 	//lint:ignore maporder fixture: directive names a different analyzer
 	return time.Now() // want nondeterminism "time.Now reads the wall clock"
+}
+
+// sameLineOtherAnalyzer pins that suppression is per-analyzer even in
+// the trailing position: the directive silences ctxflow's time.Sleep
+// finding but nondeterminism still fires on time.Since, on the very
+// same line.
+func sameLineOtherAnalyzer(t0 time.Time) {
+	time.Sleep(time.Since(t0)) //lint:ignore ctxflow fixture: sleep is the construct under test // want nondeterminism "time.Since reads the wall clock"
 }

@@ -264,9 +264,8 @@ func TestBackpressureRejectsWholeBatch(t *testing.T) {
 	}
 	// Wait for the consumer to pull batch 1 off the queue and block on
 	// the held shard mutex.
-	deadline := time.Now().Add(2 * time.Second)
-	for len(sh.ch) != 0 {
-		if time.Now().After(deadline) {
+	for i := 0; len(sh.ch) != 0; i++ {
+		if i > 2000 { // ~2s of millisecond sleeps
 			t.Fatal("consumer never pulled the first batch")
 		}
 		time.Sleep(time.Millisecond)
@@ -335,13 +334,12 @@ func TestRunCadence(t *testing.T) {
 	defer cancel()
 	go e.Run(ctx)
 	mustIngest(t, e, genRecords(200))
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	for i := 0; ; i++ {
 		g := e.Generation()
 		if g.Epoch >= 2 && g.Records == 200 {
 			break
 		}
-		if time.Now().After(deadline) {
+		if i > 5000 { // ~5s of millisecond sleeps
 			t.Fatalf("cadence never published: epoch %d records %d", g.Epoch, g.Records)
 		}
 		time.Sleep(time.Millisecond)

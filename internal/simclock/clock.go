@@ -1,6 +1,7 @@
 package simclock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -28,6 +29,25 @@ func (wallClock) Now() time.Time { return time.Now() }
 // wall-clock source in the module; hand it to daemons at their
 // entry points and inject a Manual clock everywhere in tests.
 func Wall() Clock { return wallClock{} }
+
+// Wait blocks for d or until ctx is done, whichever comes first, and
+// reports ctx.Err() in the latter case. It is the module's sanctioned
+// replacement for time.Sleep: a bare sleep can be neither cancelled
+// nor observed (the ctxflow analyzer rejects it), while Wait lets
+// shutdown interrupt retry backoffs and drains immediately.
+func Wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
 
 // ManualClock is a Clock whose time only moves when the test advances
 // it. It is safe for concurrent use.

@@ -1,0 +1,32 @@
+package simclock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWaitElapses(t *testing.T) {
+	if err := Wait(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Wait(1ms) = %v, want nil", err)
+	}
+}
+
+func TestWaitCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Wait(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("Wait on cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestWaitNonPositive(t *testing.T) {
+	if err := Wait(context.Background(), 0); err != nil {
+		t.Fatalf("Wait(0) = %v, want nil", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Wait(ctx, -time.Second); err != context.Canceled {
+		t.Fatalf("Wait(cancelled, -1s) = %v, want context.Canceled", err)
+	}
+}
