@@ -46,6 +46,14 @@ bench:
 bench-live:
 	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkQueryUnderIngest' -benchmem ./internal/live/
 
+# bench-obs compares ingest throughput with the tracer disabled vs
+# enabled; the deltas are recorded in BENCH_obs.json. The disabled run
+# must stay within a few percent of BENCH_live_ingest.json's baseline —
+# instrumentation is supposed to be free until a daemon opts in.
+.PHONY: bench-obs
+bench-obs:
+	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkIngestTraced' -benchmem -benchtime 3s -count 3 ./internal/live/
+
 # bench-lint times a full nine-analyzer run over the module tree and
 # records it in BENCH_lint.json, so analyzer additions that regress
 # lint latency show up in review.

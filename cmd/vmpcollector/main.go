@@ -20,20 +20,27 @@ import (
 	"time"
 
 	"vmp/internal/graceful"
+	"vmp/internal/obs"
+	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8473", "listen address")
-		interval = flag.Duration("log-every", time.Minute, "how often to log store size")
-		drain    = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
-		load     = flag.String("load", "", "JSONL dataset to preload into the store")
-		dump     = flag.String("dump", "", "JSONL file to write the store to on SIGINT/SIGTERM")
+		addr       = flag.String("addr", ":8473", "listen address")
+		interval   = flag.Duration("log-every", time.Minute, "how often to log store size")
+		drain      = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
+		load       = flag.String("load", "", "JSONL dataset to preload into the store")
+		dump       = flag.String("dump", "", "JSONL file to write the store to on SIGINT/SIGTERM")
+		traceDepth = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
 	)
 	flag.Parse()
 
-	collector := telemetry.NewCollector(nil)
+	clk := simclock.Wall()
+	tracer := obs.NewTracer(clk, *traceDepth)
+	tracer.SetEnabled(*traceDepth > 0)
+	reg := obs.NewRegistry()
+	collector := telemetry.NewCollectorObs(nil, reg, tracer)
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
@@ -65,24 +72,37 @@ func main() {
 		}
 	}()
 	log.Printf("collector: listening on %s", *addr)
+	// One combined HTTP surface: the collector's ingest API plus the
+	// shared observability endpoints over the same registry and tracer.
+	mux := http.NewServeMux()
+	mux.Handle("/", collector.Handler())
+	collector.MountObs(mux)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           collector.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	// graceful.Run drains in-flight POSTs before returning, so the
 	// dump below can't race a handler that is still appending — the
 	// hazard the old dump-in-a-signal-goroutine path had.
-	err := graceful.Run(srv, nil, *drain, nil)
+	err := graceful.RunNotify(srv, nil, *drain, nil, func(phase string) {
+		tracer.Emit("graceful_" + phase)
+	})
 	cancel() // stop the heartbeat before dumping
 	if err != nil {
 		log.Fatal(fmt.Errorf("collector: %w", err))
 	}
 	if *dump != "" {
+		dumpSeconds := reg.Histogram("collector_dump_seconds",
+			[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+		start := clk.Now()
 		if err := dumpStore(collector.Store(), *dump); err != nil {
 			log.Fatal(fmt.Errorf("collector: dump: %w", err))
 		}
-		log.Printf("collector: dumped %d records to %s", collector.Store().Len(), *dump)
+		dur := clk.Now().Sub(start)
+		dumpSeconds.Observe(dur.Seconds())
+		log.Printf("collector: dumped %d records to %s in %s",
+			collector.Store().Len(), *dump, dur.Round(time.Millisecond))
 	}
 }
 

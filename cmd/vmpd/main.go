@@ -23,6 +23,7 @@ import (
 
 	"vmp/internal/graceful"
 	"vmp/internal/live"
+	"vmp/internal/obs"
 	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
 )
@@ -39,15 +40,21 @@ func main() {
 		interval   = flag.Duration("log-every", time.Minute, "how often to log the published generation")
 		load       = flag.String("load", "", "JSONL dataset to preload before serving")
 		dump       = flag.String("dump", "", "JSONL file to write the final generation to on shutdown")
+		traceDepth = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
 	)
 	flag.Parse()
 
+	clk := simclock.Wall()
+	tracer := obs.NewTracer(clk, *traceDepth)
+	tracer.SetEnabled(*traceDepth > 0)
 	engine := live.NewEngine(live.Config{
 		Shards:     *shards,
 		QueueDepth: *queueDepth,
 		BatchMax:   *batchMax,
 		EpochEvery: *epoch,
 		RetryAfter: *retryAfter,
+		Clock:      clk,
+		Trace:      tracer,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	if *load != "" {
@@ -81,7 +88,9 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("vmpd: listening on %s (%d shards, %s epochs)", *addr, *shards, *epoch)
-	err := graceful.Run(srv, nil, *drain, nil)
+	err := graceful.RunNotify(srv, nil, *drain, nil, func(phase string) {
+		tracer.Emit("graceful_" + phase)
+	})
 	cancel()
 	// Close cuts a final epoch over everything the drained handlers
 	// admitted, so the dump sees every accepted record exactly once.

@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,18 +28,20 @@ import (
 	"time"
 
 	"vmp"
+	"vmp/internal/obs"
 	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
 )
 
 func main() {
 	var (
-		seed      = flag.Uint64("seed", 0, "population seed (0 = default)")
-		stride    = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
-		out       = flag.String("o", "", "output file (default stdout; with -post, default none)")
-		post      = flag.String("post", "", "base URL of a /v1/views ingest endpoint to stream the dataset to")
-		postBatch = flag.Int("post-batch", 2000, "records per POST batch")
-		postTries = flag.Int("post-retries", 100, "max retries per batch on backpressure")
+		seed       = flag.Uint64("seed", 0, "population seed (0 = default)")
+		stride     = flag.Int("stride", 1, "use every k-th snapshot (1 = full study)")
+		out        = flag.String("o", "", "output file (default stdout; with -post, default none)")
+		post       = flag.String("post", "", "base URL of a /v1/views ingest endpoint to stream the dataset to")
+		postBatch  = flag.Int("post-batch", 2000, "records per POST batch")
+		postTries  = flag.Int("post-retries", 100, "max retries per batch on backpressure")
+		postVerify = flag.Bool("post-verify", false, "after -post, check the server's /v1/metrics ingest counter covers every posted record")
 	)
 	flag.Parse()
 
@@ -71,10 +74,48 @@ func main() {
 	}
 
 	if *post != "" {
-		if err := drive(context.Background(), *post, study.Store().All(), *postBatch, *postTries, *seed); err != nil {
+		recs := study.Store().All()
+		if err := drive(context.Background(), *post, recs, *postBatch, *postTries, *seed); err != nil {
 			fatal(err)
 		}
+		if *postVerify {
+			if err := verifyIngest(*post, int64(len(recs))); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vmpgen: verified: server ingest counter covers all %d posted records\n", len(recs))
+		}
 	}
+}
+
+// verifyIngest reads the server's /v1/metrics snapshot and checks its
+// ingest counter accounts for every record this driver posted. It
+// accepts either daemon's counter name (vmpd's live engine or the
+// plain collector), and ≥ rather than == because other drivers may
+// have posted concurrently.
+func verifyIngest(url string, posted int64) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url + "/v1/metrics")
+	if err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("verify: GET /v1/metrics: %s", resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("verify: decoding /v1/metrics: %w", err)
+	}
+	for _, name := range []string{"live_ingest_records_total", "collector_ingested_total"} {
+		if n, ok := snap.Counters[name]; ok {
+			if n >= posted {
+				return nil
+			}
+			return fmt.Errorf("verify: %s is %d, expected >= %d", name, n, posted)
+		}
+	}
+	return fmt.Errorf("verify: no ingest counter in /v1/metrics snapshot")
 }
 
 // drive streams recs to url's /v1/views endpoint in batches. A 429

@@ -31,9 +31,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	rtrace "runtime/trace"
 
 	"vmp"
 	"vmp/internal/live"
+	"vmp/internal/obs"
+	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
 )
 
@@ -64,6 +67,8 @@ func run() (retErr error) {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for -figure all (1 = serial)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime/trace execution trace to this file")
+		stats      = flag.Bool("stats", false, "print a per-figure timing table to stderr after rendering")
 		input      = flag.String("input", "", "JSONL dataset to analyze instead of generating one")
 		shareDim   = flag.String("share", "", "offline answer mode: share-of-traffic for this dimension (protocol, platform, cdn)")
 		shareBy    = flag.String("share-by", "", "share weighting: viewhours (default) or views")
@@ -106,6 +111,22 @@ func run() (retErr error) {
 			}
 			if err := f.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "vmpstudy: memprofile:", err)
+			}
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		if err := rtrace.Start(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		defer func() {
+			rtrace.Stop()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vmpstudy: trace:", err)
 			}
 		}()
 	}
@@ -153,6 +174,11 @@ func run() (retErr error) {
 	} else {
 		study = vmp.New(cfg)
 	}
+	if *stats {
+		tr := obs.NewTracer(simclock.Wall(), 4096)
+		study.SetTracer(tr)
+		defer printFigureStats(os.Stderr, tr)
+	}
 	if *scorecard {
 		failures, err := study.RenderScorecard(w)
 		if err != nil {
@@ -180,6 +206,30 @@ func run() (retErr error) {
 	default:
 		return fmt.Errorf("unknown format %q", *format)
 	}
+}
+
+// printFigureStats renders the per-figure timing table from the
+// tracer's figure.<id> stage aggregates, in presentation order. With
+// -figure all each figure has exactly one span; repeated renders (or a
+// parallel run that recomputed nothing) show up in the count column.
+func printFigureStats(w io.Writer, tr *obs.Tracer) {
+	byName := map[string]obs.StageStat{}
+	for _, st := range tr.StageStats() {
+		byName[st.Name] = st
+	}
+	var totalUS int64
+	fmt.Fprintln(w, "per-figure timing:")
+	fmt.Fprintf(w, "  %-16s %6s %12s %12s\n", "figure", "count", "total", "max")
+	for _, id := range vmp.Figures {
+		st, ok := byName["figure."+id]
+		if !ok {
+			continue
+		}
+		totalUS += st.SumUS
+		fmt.Fprintf(w, "  %-16s %6d %10.3fms %10.3fms\n",
+			id, st.Count, float64(st.SumUS)/1e3, float64(st.MaxUS)/1e3)
+	}
+	fmt.Fprintf(w, "  %-16s %6s %10.3fms\n", "total", "", float64(totalUS)/1e3)
 }
 
 // answer computes vmpd-equivalent query responses offline. The records

@@ -19,6 +19,7 @@ import (
 	"vmp/internal/device"
 	"vmp/internal/ecosystem"
 	"vmp/internal/manifest"
+	"vmp/internal/obs"
 	"vmp/internal/simclock"
 	"vmp/internal/stats"
 	"vmp/internal/syndication"
@@ -50,7 +51,21 @@ type Study struct {
 
 	memoMu sync.Mutex
 	memo   map[string]*memoEntry
+
+	// tracer, when set, records a figure.<id> span around every Render
+	// call; vmpstudy -stats reads the per-figure timings back out of
+	// its stage aggregates. Nil (the default) costs nothing: Start on a
+	// nil tracer returns an inert span.
+	tracer *obs.Tracer
 }
+
+// SetTracer attaches a tracer whose figure.<id> spans time every
+// Render call. Call it before rendering; it is not synchronized with
+// concurrent renders.
+func (s *Study) SetTracer(tr *obs.Tracer) { s.tracer = tr }
+
+// Tracer returns the attached tracer, or nil.
+func (s *Study) Tracer() *obs.Tracer { return s.tracer }
 
 // memoEntry guards one figure computation: concurrent callers share a
 // single evaluation via the Once.

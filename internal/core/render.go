@@ -9,6 +9,7 @@ import (
 	"vmp/internal/analytics"
 	"vmp/internal/complexity"
 	"vmp/internal/device"
+	"vmp/internal/obs"
 	"vmp/internal/stats"
 )
 
@@ -21,8 +22,21 @@ var FigureIDs = []string{
 }
 
 // Render writes the named table or figure as text. Unknown IDs return
-// an error listing the valid ones.
+// an error listing the valid ones. When a tracer is attached (see
+// SetTracer) each call records a figure.<id> span, so a full-study run
+// yields a per-figure timing table.
 func (s *Study) Render(w io.Writer, id string) error {
+	sp := s.tracer.Start("figure."+id, 0)
+	err := s.renderFigure(w, id)
+	ok := int64(1)
+	if err != nil {
+		ok = 0
+	}
+	sp.End(obs.KV("ok", ok))
+	return err
+}
+
+func (s *Study) renderFigure(w io.Writer, id string) error {
 	switch id {
 	case "macro":
 		m := s.Macro()

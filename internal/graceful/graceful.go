@@ -24,6 +24,15 @@ import (
 // after a clean drain; a listener failure or an expired drain deadline
 // is returned as an error.
 func Run(srv *http.Server, ln net.Listener, drainTimeout time.Duration, stop <-chan struct{}) error {
+	return RunNotify(srv, ln, drainTimeout, stop, nil)
+}
+
+// RunNotify is Run with a lifecycle callback: notify (if non-nil) is
+// called with "drain_begin" when a shutdown request arrives and
+// "drain_end" after the drain completes, before RunNotify returns.
+// Daemons use it to land shutdown phases in their structured event
+// log so a trace dump shows where drain time went.
+func RunNotify(srv *http.Server, ln net.Listener, drainTimeout time.Duration, stop <-chan struct{}, notify func(phase string)) error {
 	errc := make(chan error, 1)
 	go func() {
 		var err error
@@ -50,10 +59,17 @@ func Run(srv *http.Server, ln net.Listener, drainTimeout time.Duration, stop <-c
 	case <-stop:
 	}
 
+	if notify != nil {
+		notify("drain_begin")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
-	return <-errc
+	err := <-errc
+	if notify != nil {
+		notify("drain_end")
+	}
+	return err
 }

@@ -4,23 +4,35 @@ import (
 	"testing"
 	"time"
 
+	"vmp/internal/obs"
 	"vmp/internal/simclock"
 )
 
-// BenchmarkLiveIngest measures admission + micro-batched append
-// throughput: one op is a 500-record batch through Ingest. The engine
-// is recycled every 200 ops (outside the timer) so pending-buffer
-// growth doesn't turn the bench into a memory benchmark.
-func BenchmarkLiveIngest(b *testing.B) {
+// benchIngest measures admission + micro-batched append throughput:
+// one op is a 500-record batch through Ingest. The engine is recycled
+// every 200 ops (outside the timer) so pending-buffer growth doesn't
+// turn the bench into a memory benchmark. With traced, every batch
+// runs under an enabled tracer (span per admit and consume, event per
+// admission) — the delta against the untraced run is the tracing
+// overhead quoted in EXPERIMENTS.md.
+func benchIngest(b *testing.B, traced bool) {
 	recs := genRecords(500)
 	cfg := Config{Shards: 8, QueueDepth: 64, Clock: simclock.NewManual(simclock.StudyStart)}
-	e := NewEngine(cfg)
+	newEngine := func() *Engine {
+		if traced {
+			cfg.Trace = obs.NewTracer(cfg.Clock, 4096)
+		} else {
+			cfg.Trace = nil // withDefaults installs a disabled tracer
+		}
+		return NewEngine(cfg)
+	}
+	e := newEngine()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i > 0 && i%200 == 0 {
 			b.StopTimer()
 			e.Close()
-			e = NewEngine(cfg)
+			e = newEngine()
 			b.StartTimer()
 		}
 		for {
@@ -37,6 +49,15 @@ func BenchmarkLiveIngest(b *testing.B) {
 	e.Close()
 	b.ReportMetric(float64(500*b.N)/b.Elapsed().Seconds(), "records/s")
 }
+
+// BenchmarkLiveIngest is the untraced baseline: the engine carries a
+// disabled tracer, so every instrumentation site costs one atomic
+// load and zero allocations.
+func BenchmarkLiveIngest(b *testing.B) { benchIngest(b, false) }
+
+// BenchmarkIngestTraced runs the same workload with tracing enabled
+// (span and event rings of 4096).
+func BenchmarkIngestTraced(b *testing.B) { benchIngest(b, true) }
 
 // BenchmarkQueryUnderIngest measures query latency on the published
 // generation while a writer goroutine streams batches and a

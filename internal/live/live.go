@@ -35,8 +35,10 @@ var ErrClosed = errors.New("live: engine closed")
 
 // Config parameterizes an Engine. The zero value gets sensible
 // defaults: 8 shards, 64 queued batches per shard, 4096-record
-// micro-batches, 5 s epochs, 500 ms retry-after, the wall clock, and a
-// fresh metrics registry.
+// micro-batches, 5 s epochs, 500 ms retry-after, the wall clock, a
+// fresh metrics registry, and a *disabled* tracer — tracing costs one
+// atomic load per instrumentation site until a daemon opts in by
+// supplying an enabled obs.Tracer.
 type Config struct {
 	Shards     int            // hash partitions
 	QueueDepth int            // queued batches per shard before backpressure
@@ -45,6 +47,7 @@ type Config struct {
 	RetryAfter time.Duration  // hint returned with a backpressure rejection
 	Clock      simclock.Clock // time source (inject a manual clock in tests)
 	Metrics    *obs.Registry  // metrics destination
+	Trace      *obs.Tracer    // span/event destination (nil = disabled)
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +72,11 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.Trace == nil {
+		t := obs.NewTracer(c.Clock, 256)
+		t.SetEnabled(false)
+		c.Trace = t
+	}
 	return c
 }
 
@@ -82,10 +90,18 @@ type Generation struct {
 	Dataset *telemetry.Dataset
 }
 
+// batchMsg is one admitted sub-batch in flight to a shard consumer.
+// It carries the admission span's ID so the consumer's coalesced
+// append links under the same trace as the handler that admitted it.
+type batchMsg struct {
+	recs   []telemetry.ViewRecord
+	parent obs.SpanID
+}
+
 // shard is one ingest partition: a bounded queue of admitted batches
 // and the pending buffer its consumer goroutine appends them to.
 type shard struct {
-	ch    chan []telemetry.ViewRecord
+	ch    chan batchMsg
 	flush chan chan struct{} // snapshot-time drain requests, acked
 	quit  chan struct{}
 
@@ -107,6 +123,7 @@ func (sh *shard) take() []telemetry.ViewRecord {
 type Engine struct {
 	cfg    Config
 	clock  simclock.Clock
+	tracer *obs.Tracer
 	shards []*shard
 
 	// ingestMu serializes admission: with the consumers only ever
@@ -141,6 +158,7 @@ func NewEngine(cfg Config) *Engine {
 	e := &Engine{
 		cfg:           cfg,
 		clock:         cfg.Clock,
+		tracer:        cfg.Trace,
 		ingested:      cfg.Metrics.Counter("live_ingest_records_total"),
 		backpressured: cfg.Metrics.Counter("live_ingest_backpressured_total"),
 		snapshots:     cfg.Metrics.Counter("live_snapshots_total"),
@@ -152,7 +170,7 @@ func NewEngine(cfg Config) *Engine {
 	e.shards = make([]*shard, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &shard{
-			ch:    make(chan []telemetry.ViewRecord, cfg.QueueDepth),
+			ch:    make(chan batchMsg, cfg.QueueDepth),
 			flush: make(chan chan struct{}),
 			quit:  make(chan struct{}),
 		}
@@ -165,6 +183,10 @@ func NewEngine(cfg Config) *Engine {
 
 // Metrics returns the engine's registry.
 func (e *Engine) Metrics() *obs.Registry { return e.cfg.Metrics }
+
+// Tracer returns the engine's span/event sink (disabled unless the
+// config supplied an enabled one).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // RetryAfter returns the configured backpressure hint.
 func (e *Engine) RetryAfter() time.Duration { return e.cfg.RetryAfter }
@@ -215,9 +237,19 @@ type Result struct {
 // the caller retries the identical batch without duplication. Ingest
 // never blocks on a full queue and never blocks queries.
 func (e *Engine) Ingest(recs []telemetry.ViewRecord) (Result, error) {
+	return e.IngestSpan(recs, 0)
+}
+
+// IngestSpan is Ingest with a trace parent: the admission span — and
+// the shard consume spans downstream of it — link under parent, so an
+// HTTP handler's batch span owns the whole per-stage decomposition
+// (scan → admit → shard queue → coalesced consume). With tracing
+// disabled it is exactly Ingest.
+func (e *Engine) IngestSpan(recs []telemetry.ViewRecord, parent obs.SpanID) (Result, error) {
 	if len(recs) == 0 {
 		return Result{}, nil
 	}
+	sp := e.tracer.Start("ingest.admit", parent)
 	parts := make([][]telemetry.ViewRecord, len(e.shards))
 	for i := range recs {
 		s := e.shardOf(&recs[i])
@@ -226,25 +258,32 @@ func (e *Engine) Ingest(recs []telemetry.ViewRecord) (Result, error) {
 	e.ingestMu.Lock()
 	if e.closed {
 		e.ingestMu.Unlock()
+		sp.End(obs.KV("records", int64(len(recs))), obs.KV("closed", 1))
 		return Result{}, ErrClosed
 	}
 	for si, part := range parts {
 		if len(part) > 0 && len(e.shards[si].ch) == cap(e.shards[si].ch) {
 			e.ingestMu.Unlock()
 			e.backpressured.Add(int64(len(recs)))
+			sp.End(obs.KV("records", int64(len(recs))), obs.KV("backpressured", int64(len(recs))))
+			e.tracer.Emit("batch_rejected", obs.KV("records", int64(len(recs))), obs.KV("shard", int64(si)))
 			return Result{Backpressured: len(recs), RetryAfter: e.cfg.RetryAfter}, nil
 		}
 	}
+	shards := int64(0)
 	for si, part := range parts {
 		if len(part) > 0 {
 			// Cannot block: consumers only drain, and the capacity
 			// check above ran under the same ingestMu hold.
-			e.shards[si].ch <- part
+			e.shards[si].ch <- batchMsg{recs: part, parent: sp.ID()}
+			shards++
 		}
 	}
 	e.ingestMu.Unlock()
 	e.ingested.Add(int64(len(recs)))
 	e.queueDepth.Set(int64(e.queuedBatches()))
+	sp.End(obs.KV("records", int64(len(recs))), obs.KV("shards", shards))
+	e.tracer.Emit("batch_admitted", obs.KV("records", int64(len(recs))), obs.KV("shards", shards))
 	return Result{Accepted: len(recs)}, nil
 }
 
@@ -256,8 +295,8 @@ func (e *Engine) runShard(sh *shard) {
 	defer e.wg.Done()
 	for {
 		select {
-		case batch := <-sh.ch:
-			e.appendCoalesced(sh, batch)
+		case m := <-sh.ch:
+			e.appendCoalesced(sh, m)
 		case ack := <-sh.flush:
 			e.drainShard(sh)
 			close(ack)
@@ -268,12 +307,18 @@ func (e *Engine) runShard(sh *shard) {
 	}
 }
 
-// appendCoalesced appends batch plus anything else already queued.
-func (e *Engine) appendCoalesced(sh *shard, batch []telemetry.ViewRecord) {
+// appendCoalesced appends a queued batch plus anything else already
+// queued. The consume span links under the first batch's admission
+// span; further coalesced batches are counted in its attrs.
+func (e *Engine) appendCoalesced(sh *shard, m batchMsg) {
+	sp := e.tracer.Start("shard.consume", m.parent)
+	batch := m.recs
+	coalesced := int64(1)
 	for len(batch) < e.cfg.BatchMax {
 		select {
 		case more := <-sh.ch:
-			batch = append(batch, more...)
+			batch = append(batch, more.recs...)
+			coalesced++
 			continue
 		default:
 		}
@@ -283,18 +328,50 @@ func (e *Engine) appendCoalesced(sh *shard, batch []telemetry.ViewRecord) {
 	sh.pending = append(sh.pending, batch...)
 	sh.mu.Unlock()
 	e.batchSizes.Observe(float64(len(batch)))
+	sp.End(obs.KV("records", int64(len(batch))), obs.KV("coalesced", coalesced))
 }
 
 // drainShard empties the queue into the pending buffer.
 func (e *Engine) drainShard(sh *shard) {
 	for {
 		select {
-		case batch := <-sh.ch:
-			e.appendCoalesced(sh, batch)
+		case m := <-sh.ch:
+			e.appendCoalesced(sh, m)
 		default:
 			return
 		}
 	}
+}
+
+// flushShards asks every consumer to drain its queue into the pending
+// buffer and waits for all acks. Caller holds snapMu. It creates no
+// spans of its own: the Flush quiesce path must not race span IDs
+// with the consumers it is waiting on, and Snapshot wraps it in an
+// epoch.flush span instead.
+func (e *Engine) flushShards() {
+	acks := make([]chan struct{}, len(e.shards))
+	for i, sh := range e.shards {
+		ack := make(chan struct{})
+		acks[i] = ack
+		sh.flush <- ack
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// Flush forces every shard consumer to drain its queue into the
+// pending buffer without cutting an epoch. When it returns, every
+// batch admitted before the call has been appended and the consumers
+// are idle — the quiesce point the deterministic-trace tests and
+// drain paths rely on. Flush does not publish a generation.
+func (e *Engine) Flush() {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if e.stopped {
+		return
+	}
+	e.flushShards()
 }
 
 // Snapshot cuts an epoch: it concurrently flushes every shard's queue,
@@ -309,19 +386,18 @@ func (e *Engine) Snapshot() *Generation {
 		return e.gen.Load()
 	}
 	start := e.clock.Now()
-	acks := make([]chan struct{}, len(e.shards))
-	for i, sh := range e.shards {
-		ack := make(chan struct{})
-		acks[i] = ack
-		sh.flush <- ack
-	}
-	for _, ack := range acks {
-		<-ack
-	}
+	sp := e.tracer.Start("epoch.cut", 0)
+	e.tracer.Emit("epoch_cut", obs.KV("epoch", e.gen.Load().Epoch+1))
+	fsp := e.tracer.Start("epoch.flush", sp.ID())
+	e.flushShards()
+	fsp.End(obs.KV("shards", int64(len(e.shards))))
+	msp := e.tracer.Start("epoch.merge", sp.ID())
 	parts := make([][]telemetry.ViewRecord, len(e.shards))
 	n := len(e.base)
+	delta := 0
 	for i, sh := range e.shards {
 		parts[i] = sh.take()
+		delta += len(parts[i])
 		n += len(parts[i])
 	}
 	merged := make([]telemetry.ViewRecord, 0, n)
@@ -334,6 +410,7 @@ func (e *Engine) Snapshot() *Generation {
 	// matter how ingestion interleaved across shards.
 	telemetry.CanonicalSort(merged)
 	ds := telemetry.NewDataset(merged)
+	msp.End(obs.KV("records", int64(ds.Len())), obs.KV("delta", int64(delta)))
 	e.base = ds.All()
 	g := &Generation{
 		Epoch:   e.gen.Load().Epoch + 1,
@@ -346,6 +423,9 @@ func (e *Engine) Snapshot() *Generation {
 	e.genRecords.Set(int64(ds.Len()))
 	e.queueDepth.Set(int64(e.queuedBatches()))
 	e.snapLatency.Observe(e.clock.Now().Sub(start).Seconds())
+	e.tracer.Emit("generation_published",
+		obs.KV("epoch", g.Epoch), obs.KV("records", int64(g.Records)), obs.KV("delta", int64(delta)))
+	sp.End(obs.KV("epoch", g.Epoch), obs.KV("records", int64(g.Records)))
 	return g
 }
 

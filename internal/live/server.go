@@ -12,9 +12,11 @@ import (
 
 // Server exposes an Engine over HTTP: wire-level ingest on the
 // collector's /v1/views contract, the query API over the published
-// generation, an admin snapshot trigger, and the metrics registry.
+// generation, an admin snapshot trigger, and the shared observability
+// surface (metrics, trace, debug).
 type Server struct {
 	engine *Engine
+	tracer *obs.Tracer
 
 	rejected   *obs.Counter
 	scanErrors *obs.Counter
@@ -29,6 +31,7 @@ func NewServer(e *Engine) *Server {
 	reg := e.Metrics()
 	s := &Server{
 		engine:     e,
+		tracer:     e.Tracer(),
 		rejected:   reg.Counter("live_ingest_rejected_total"),
 		scanErrors: reg.Counter("live_ingest_scan_errors_total"),
 		qLatency:   make(map[string]*obs.Histogram),
@@ -49,6 +52,8 @@ func NewServer(e *Engine) *Server {
 //	GET  /v1/query/window         — ?start=RFC3339&days=2
 //	GET  /v1/stats                — ingest counters + current epoch
 //	GET  /v1/metrics              — obs registry snapshot
+//	GET  /v1/trace                — recent spans, per-stage latency, event tail
+//	GET  /debug/vmp               — metrics + trace combined
 //	GET  /healthz                 — liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -58,7 +63,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query/top-publishers", s.query("top-publishers", s.topResponse))
 	mux.HandleFunc("/v1/query/window", s.query("window", s.windowResponse))
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.Handle("/v1/metrics", s.engine.Metrics().Handler())
+	obs.Mount(mux, s.engine.Metrics(), s.tracer)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -71,18 +76,25 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { _ = r.Body.Close() }()
+	root := s.tracer.Start("ingest.batch", 0)
+	ssp := s.tracer.Start("ingest.scan", root.ID())
 	batch, bad, err := telemetry.ScanJSONL(r.Body)
+	ssp.End(obs.KV("records", int64(len(batch))), obs.KV("bad", int64(bad)))
 	s.rejected.Add(int64(bad))
 	if err != nil {
 		// Cut-short stream (oversized line or transport error): reject
 		// the whole batch so a retry is exact, and count the event.
 		s.scanErrors.Add(1)
 		s.rejected.Add(int64(len(batch)))
+		s.tracer.Emit("batch_rejected",
+			obs.KV("records", int64(len(batch)+bad)), obs.KV("scan_error", 1))
+		root.End(obs.KV("rejected", int64(len(batch)+bad)), obs.KV("scan_error", 1))
 		http.Error(w, fmt.Sprintf("read error: %v", err), http.StatusBadRequest)
 		return
 	}
-	res, err := s.engine.Ingest(batch)
+	res, err := s.engine.IngestSpan(batch, root.ID())
 	if err != nil {
+		root.End(obs.KV("records", int64(len(batch))), obs.KV("closed", 1))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -99,10 +111,12 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusTooManyRequests)
 		fmt.Fprintf(w, `{"accepted":0,"backpressured":%d,"rejected":%d,"retry_after_ms":%d}`+"\n",
 			res.Backpressured, bad, res.RetryAfter.Milliseconds())
+		root.End(obs.KV("backpressured", int64(res.Backpressured)), obs.KV("rejected", int64(bad)))
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintf(w, `{"accepted":%d,"backpressured":0,"rejected":%d}`+"\n", res.Accepted, bad)
+	root.End(obs.KV("accepted", int64(res.Accepted)), obs.KV("rejected", int64(bad)))
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -133,7 +147,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // query wraps a response builder with method checking, latency
-// observation, and canonical serialization.
+// observation, a per-request span, and canonical serialization.
 func (s *Server) query(name string, build func(*http.Request) (any, error)) http.HandlerFunc {
 	hist := s.qLatency[name]
 	clock := s.engine.clock
@@ -142,18 +156,22 @@ func (s *Server) query(name string, build func(*http.Request) (any, error)) http
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		sp := s.tracer.Start("query."+name, 0)
 		start := clock.Now()
 		resp, err := build(r)
 		if err != nil {
+			sp.End(obs.KV("ok", 0))
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := WriteJSON(w, resp); err != nil {
+			sp.End(obs.KV("ok", 0))
 			http.Error(w, "encode error", http.StatusInternalServerError)
 			return
 		}
 		hist.Observe(clock.Now().Sub(start).Seconds())
+		sp.End(obs.KV("ok", 1), obs.KV("epoch", s.engine.Generation().Epoch))
 	}
 }
 

@@ -1,0 +1,206 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"vmp/internal/obs"
+	"vmp/internal/simclock"
+)
+
+// TestEngineTraceDeterministic pins the tentpole contract: a fixed
+// ingest schedule against a single-sharded engine on a frozen manual
+// clock renders byte-identical trace JSON across runs. One shard makes
+// span-ID assignment a fixed alternation (admit, then its consume),
+// and Flush() quiesces the consumer before every Snapshot so no
+// consumer-side Start can race the epoch spans.
+func TestEngineTraceDeterministic(t *testing.T) {
+	run := func() []byte {
+		tr := obs.NewTracer(simclock.NewManual(simclock.StudyStart), 256)
+		e := NewEngine(Config{
+			Shards:     1,
+			QueueDepth: 64,
+			Clock:      simclock.NewManual(simclock.StudyStart),
+			Trace:      tr,
+		})
+		recs := genRecords(100)
+		for lo := 0; lo < len(recs); lo += 25 {
+			if _, err := e.Ingest(recs[lo : lo+25]); err != nil {
+				t.Fatal(err)
+			}
+			e.Flush()
+		}
+		e.Snapshot()
+		e.Flush()
+		out, err := json.Marshal(tr.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		return out
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace JSON diverged across identical runs:\n%s\n%s", a, b)
+	}
+
+	var snap obs.TraceSnapshot
+	if err := json.Unmarshal(a, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// 4 ingest rounds: admit + consume each; plus epoch cut/flush/merge.
+	wantStages := map[string]int64{"ingest.admit": 4, "shard.consume": 4, "epoch.cut": 1, "epoch.flush": 1, "epoch.merge": 1}
+	got := map[string]int64{}
+	for _, st := range snap.Stages {
+		got[st.Name] = st.Count
+	}
+	for name, want := range wantStages {
+		if got[name] != want {
+			t.Fatalf("stage %s: count %d, want %d (stages: %+v)", name, got[name], want, snap.Stages)
+		}
+	}
+	// Consume spans link under their admission span.
+	byID := map[uint64]obs.SpanJSON{}
+	for _, sp := range snap.Spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range snap.Spans {
+		if sp.Name == "shard.consume" {
+			if p, ok := byID[sp.Parent]; !ok || p.Name != "ingest.admit" {
+				t.Fatalf("consume span %d not parented to an admit span: %+v", sp.ID, sp)
+			}
+		}
+	}
+	// The event log carries the admissions and the publication.
+	var admitted, published int
+	for _, ev := range snap.Events {
+		switch ev.Type {
+		case "batch_admitted":
+			admitted++
+		case "generation_published":
+			published++
+			if ev.Attrs["records"] != 100 || ev.Attrs["delta"] != 100 {
+				t.Fatalf("generation_published attrs: %+v", ev.Attrs)
+			}
+		}
+	}
+	if admitted != 4 || published != 1 {
+		t.Fatalf("events: %d admitted, %d published (%+v)", admitted, published, snap.Events)
+	}
+}
+
+// TestIngestBackpressureTraced checks the rejection path emits a
+// batch_rejected event and ends the admit span with the backpressure
+// attribute.
+func TestIngestBackpressureTraced(t *testing.T) {
+	tr := obs.NewTracer(simclock.NewManual(simclock.StudyStart), 64)
+	e := newTestEngine(t, Config{Shards: 1, QueueDepth: 1, BatchMax: 1 << 20, Trace: tr})
+	// Occupy the consumer and fill the queue: the first batch may be
+	// picked up immediately, so keep sending until one is rejected.
+	recs := genRecords(200)
+	var rejected bool
+	for i := 0; i < 1000 && !rejected; i++ {
+		res, err := e.Ingest(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejected = res.Backpressured > 0
+	}
+	if !rejected {
+		t.Fatal("queue of depth 1 never backpressured")
+	}
+	snap := tr.Snapshot()
+	var ev, sp bool
+	for _, e := range snap.Events {
+		if e.Type == "batch_rejected" {
+			ev = true
+		}
+	}
+	for _, s := range snap.Spans {
+		if s.Name == "ingest.admit" && s.Attrs["backpressured"] > 0 {
+			sp = true
+		}
+	}
+	if !ev || !sp {
+		t.Fatalf("rejection not traced (event=%v span=%v): %+v", ev, sp, snap)
+	}
+}
+
+// TestServerTraceEndpoint drives the HTTP surface end to end: ingest a
+// batch, cut an epoch, run a query, then check /v1/trace shows the
+// full span vocabulary and /debug/vmp serves the combined snapshot.
+func TestServerTraceEndpoint(t *testing.T) {
+	tr := obs.NewTracer(simclock.NewManual(simclock.StudyStart), 256)
+	_, srv, e := newTestServer(t, Config{Shards: 2, QueueDepth: 64, Trace: tr})
+	client := srv.Client()
+
+	resp := postViews(t, client, srv.URL, genRecords(50))
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	e.Snapshot()
+	qresp, err := client.Get(srv.URL + "/v1/query/share?dim=protocol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, qresp.Body)
+	_ = qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", qresp.StatusCode)
+	}
+
+	tresp, err := client.Get(srv.URL + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tresp.Body.Close() }()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/trace status %d", tresp.StatusCode)
+	}
+	var snap obs.TraceSnapshot
+	if err := json.NewDecoder(tresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sp := range snap.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"ingest.batch", "ingest.scan", "ingest.admit", "epoch.cut", "query.share"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in /v1/trace (have %v)", want, names)
+		}
+	}
+	types := map[string]bool{}
+	for _, ev := range snap.Events {
+		types[ev.Type] = true
+	}
+	for _, want := range []string{"batch_admitted", "epoch_cut", "generation_published"} {
+		if !types[want] {
+			t.Fatalf("missing event %q in /v1/trace (have %v)", want, types)
+		}
+	}
+
+	dresp, err := client.Get(srv.URL + "/debug/vmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dresp.Body.Close() }()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vmp status %d", dresp.StatusCode)
+	}
+	var dbg obs.DebugSnapshot
+	if err := json.NewDecoder(dresp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Metrics.Counters["live_ingest_records_total"] != 50 {
+		t.Fatalf("debug metrics ingested: %+v", dbg.Metrics.Counters)
+	}
+	if dbg.Trace.SpansTotal == 0 {
+		t.Fatal("debug trace empty")
+	}
+}

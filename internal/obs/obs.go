@@ -1,11 +1,15 @@
 // Package obs is the serving plane's observability substrate: atomic
 // counters, gauges, and fixed-bucket histograms behind a named
-// registry, exposed as deterministic JSON (map keys serialize sorted)
-// on an HTTP handler. It is deliberately tiny — the operational
-// counterpart of the study's figure suite, not a metrics framework —
-// and everything here is safe for concurrent use on the ingest hot
-// path: Observe and Add are lock-free, and reading a snapshot never
-// blocks a writer.
+// registry (this file), plus a batch-scoped tracing layer — spans
+// with parent links and a structured event log in bounded lock-free
+// rings (trace.go) — exposed as deterministic JSON (map keys
+// serialize sorted) on shared HTTP handlers (obs.Mount). It is
+// deliberately tiny — the operational counterpart of the study's
+// figure suite, not a metrics framework — and everything here is safe
+// for concurrent use on the ingest hot path: Observe, Add, Start, and
+// Emit are lock-free, reading a snapshot never blocks a writer, and a
+// disabled tracer costs one atomic load and zero allocations per
+// instrumentation site.
 package obs
 
 import (
@@ -45,11 +49,14 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // Histogram is a fixed-bucket distribution. Bucket i counts
 // observations v <= bounds[i]; one overflow bucket counts the rest.
 // Observe is lock-free: a bucket hit is one atomic add, the running
-// sum a CAS loop on the float bits.
+// sum a CAS loop on the float bits. There is deliberately no separate
+// count cell: an Observe racing a snapshot could otherwise leave the
+// snapshot showing count ≠ Σbuckets, so the count is always derived
+// from the buckets themselves (see Snapshot for the consistency
+// contract).
 type Histogram struct {
 	bounds  []float64
 	buckets []atomic.Int64 // len(bounds)+1, last is overflow
-	count   atomic.Int64
 	sumBits atomic.Uint64
 }
 
@@ -68,7 +75,6 @@ func NewHistogram(bounds []float64) *Histogram {
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
-	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -87,19 +93,25 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"n"`
 }
 
-// Snapshot reads the histogram. Concurrent observers may land between
-// the bucket reads; each individual reading is consistent with some
-// prefix of the observation stream.
+// Snapshot reads the histogram under a relaxed-consistency contract:
+// Count is reported as the sum of the bucket reads, so every snapshot
+// satisfies count == Σbuckets by construction (concurrent observers
+// may land between individual bucket loads, so the buckets themselves
+// are consistent with *some* interleaving of the observation stream,
+// not necessarily a single prefix). Sum is read last and may include
+// observations whose bucket increment was not yet visible — it is an
+// aggregate for averages, not an exact pair with Count.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Count:  h.count.Load(),
-		Sum:    math.Float64frombits(h.sumBits.Load()),
 		Bounds: h.bounds,
 		Counts: make([]int64, len(h.buckets)),
 	}
 	for i := range h.buckets {
-		s.Counts[i] = h.buckets[i].Load()
+		n := h.buckets[i].Load()
+		s.Counts[i] = n
+		s.Count += n
 	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
 	return s
 }
 

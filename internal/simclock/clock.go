@@ -50,10 +50,12 @@ func Wait(ctx context.Context, d time.Duration) error {
 }
 
 // ManualClock is a Clock whose time only moves when the test advances
-// it. It is safe for concurrent use.
+// it — explicitly via Advance, or implicitly via SetAutoAdvance. It is
+// safe for concurrent use.
 type ManualClock struct {
-	mu sync.Mutex
-	t  time.Time
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
 }
 
 // NewManual returns a manual clock frozen at start.
@@ -61,11 +63,29 @@ func NewManual(start time.Time) *ManualClock {
 	return &ManualClock{t: start}
 }
 
-// Now returns the clock's current instant.
+// Now returns the clock's current instant, then steps the clock by
+// the auto-advance amount (zero unless SetAutoAdvance was called).
 func (c *ManualClock) Now() time.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.t
+	t := c.t
+	c.t = c.t.Add(c.step)
+	return t
+}
+
+// SetAutoAdvance makes every subsequent Now advance the clock by d
+// after reading it. Tests of the tracing layer use this to get
+// deterministic *nonzero* span durations from a fixed call sequence:
+// each clock read lands exactly d after the previous one, so a
+// repeated run produces byte-identical trace output. d <= 0 disables
+// auto-advance.
+func (c *ManualClock) SetAutoAdvance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	c.step = d
 }
 
 // Advance moves the clock forward by d.

@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync/atomic"
 
 	"vmp/internal/manifest"
+	"vmp/internal/obs"
 )
 
 // MaxLineBytes is the largest JSONL line the wire-level ingest paths
@@ -47,24 +47,61 @@ func ScanJSONL(r io.Reader) (batch []ViewRecord, bad int, err error) {
 // service that ingests JSON-lines batches of view records (the wire
 // format publishers' monitoring libraries report in) and accumulates
 // them in a Store. Use NewCollector and mount Handler on any mux.
+//
+// The collector sits on the same observability substrate as the live
+// serving plane: its ingest counters are obs.Counters in a Registry
+// (so /v1/metrics serves them alongside any daemon-level metrics) and
+// each batch gets an ingest.batch span with scan and store children
+// when the tracer is enabled.
 type Collector struct {
-	store      *Store
-	ingested   atomic.Int64
-	rejected   atomic.Int64
-	scanErrors atomic.Int64
+	store  *Store
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	ingested   *obs.Counter
+	rejected   *obs.Counter
+	scanErrors *obs.Counter
 }
 
-// NewCollector returns a collector backed by store. A nil store gets a
-// fresh one.
+// NewCollector returns a collector backed by store with a private
+// registry and a disabled tracer. A nil store gets a fresh one.
 func NewCollector(store *Store) *Collector {
+	return NewCollectorObs(store, nil, nil)
+}
+
+// NewCollectorObs returns a collector wired to an explicit registry
+// and tracer, so a daemon can share one observability surface between
+// the collector and its own instrumentation. A nil reg gets a fresh
+// registry; a nil tr gets a disabled tracer.
+func NewCollectorObs(store *Store, reg *obs.Registry, tr *obs.Tracer) *Collector {
 	if store == nil {
 		store = NewStore()
 	}
-	return &Collector{store: store}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if tr == nil {
+		tr = obs.NewTracer(nil, 1)
+		tr.SetEnabled(false)
+	}
+	return &Collector{
+		store:      store,
+		reg:        reg,
+		tracer:     tr,
+		ingested:   reg.Counter("collector_ingested_total"),
+		rejected:   reg.Counter("collector_rejected_total"),
+		scanErrors: reg.Counter("collector_scan_errors_total"),
+	}
 }
 
 // Store returns the backing store.
 func (c *Collector) Store() *Store { return c.store }
+
+// Metrics returns the collector's registry.
+func (c *Collector) Metrics() *obs.Registry { return c.reg }
+
+// Tracer returns the collector's tracer.
+func (c *Collector) Tracer() *obs.Tracer { return c.tracer }
 
 // Handler returns the collector's HTTP handler:
 //
@@ -85,21 +122,32 @@ func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { _ = r.Body.Close() }()
+	root := c.tracer.Start("ingest.batch", 0)
+	ssp := c.tracer.Start("ingest.scan", root.ID())
 	batch, bad, err := ScanJSONL(r.Body)
+	ssp.End(obs.KV("records", int64(len(batch))), obs.KV("bad", int64(bad)))
 	if err != nil {
 		// The batch was cut short (oversized line or transport error):
 		// reject it whole, and surface the event on the stats counters
 		// so a misbehaving sensor is visible, not silent.
 		c.scanErrors.Add(1)
 		c.rejected.Add(int64(len(batch) + bad))
+		c.tracer.Emit("batch_rejected",
+			obs.KV("records", int64(len(batch)+bad)), obs.KV("scan_error", 1))
+		root.End(obs.KV("rejected", int64(len(batch)+bad)), obs.KV("scan_error", 1))
 		http.Error(w, fmt.Sprintf("read error: %v", err), http.StatusBadRequest)
 		return
 	}
+	stsp := c.tracer.Start("ingest.store", root.ID())
 	c.store.Append(batch...)
+	stsp.End(obs.KV("records", int64(len(batch))))
 	c.ingested.Add(int64(len(batch)))
 	c.rejected.Add(int64(bad))
+	c.tracer.Emit("batch_admitted",
+		obs.KV("records", int64(len(batch))), obs.KV("rejected", int64(bad)))
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", len(batch), bad)
+	root.End(obs.KV("accepted", int64(len(batch))), obs.KV("rejected", int64(bad)))
 }
 
 func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +158,15 @@ func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"ingested":%d,"rejected":%d,"scan_errors":%d,"stored":%d}`+"\n",
 		c.ingested.Load(), c.rejected.Load(), c.scanErrors.Load(), c.store.Len())
+}
+
+// MountObs registers the shared observability endpoints (/v1/metrics,
+// /v1/trace, /debug/vmp) for the collector's registry and tracer on
+// mux. Handler deliberately does not call this: callers opt in, so a
+// collector embedded in a larger daemon can expose one combined
+// surface instead.
+func (c *Collector) MountObs(mux *http.ServeMux) {
+	obs.Mount(mux, c.reg, c.tracer)
 }
 
 // Summary is the /v1/summary payload: the coarse dataset breakdown a

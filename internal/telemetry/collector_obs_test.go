@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vmp/internal/obs"
+	"vmp/internal/simclock"
+)
+
+// TestCollectorObsSubstrate checks the collector reports through the
+// shared obs registry and tracer: ingest counters land in /v1/metrics
+// names, and an admitted batch leaves an ingest.batch span with scan
+// and store children plus a batch_admitted event.
+func TestCollectorObsSubstrate(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := simclock.NewManual(time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC))
+	clk.SetAutoAdvance(time.Millisecond)
+	tr := obs.NewTracer(clk, 64)
+	c := NewCollectorObs(nil, reg, tr)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	c.MountObs(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body := `{"pub":"p1","video":"v1","url":"http://cdn/a.m3u8"}
+not json
+{"pub":"p2","video":"v2","url":"http://cdn/b.mpd"}
+`
+	resp, err := http.Post(srv.URL+"/v1/views", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["collector_ingested_total"] != 2 {
+		t.Fatalf("ingested counter: %+v", snap.Counters)
+	}
+	if snap.Counters["collector_rejected_total"] != 1 {
+		t.Fatalf("rejected counter: %+v", snap.Counters)
+	}
+	if snap.Counters["collector_scan_errors_total"] != 0 {
+		t.Fatalf("scan errors counter: %+v", snap.Counters)
+	}
+
+	ts := tr.Snapshot()
+	byName := map[string]obs.SpanJSON{}
+	for _, sp := range ts.Spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName["ingest.batch"]
+	if !ok {
+		t.Fatalf("no ingest.batch span: %+v", ts.Spans)
+	}
+	for _, child := range []string{"ingest.scan", "ingest.store"} {
+		sp, ok := byName[child]
+		if !ok || sp.Parent != root.ID {
+			t.Fatalf("span %s missing or unparented: %+v", child, ts.Spans)
+		}
+	}
+	if byName["ingest.store"].Attrs["records"] != 2 {
+		t.Fatalf("store span attrs: %+v", byName["ingest.store"])
+	}
+	if len(ts.Events) != 1 || ts.Events[0].Type != "batch_admitted" || ts.Events[0].Attrs["records"] != 2 {
+		t.Fatalf("events: %+v", ts.Events)
+	}
+
+	// The legacy /v1/stats shape is unchanged.
+	sresp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sresp.Body.Close() }()
+	buf := make([]byte, 256)
+	n, _ := sresp.Body.Read(buf)
+	stats := string(buf[:n])
+	if !strings.Contains(stats, `"ingested":2`) || !strings.Contains(stats, `"stored":2`) {
+		t.Fatalf("stats payload: %s", stats)
+	}
+}
+
+// TestCollectorDefaultObs checks NewCollector still works standalone:
+// a private registry, a disabled tracer, zero tracing overhead.
+func TestCollectorDefaultObs(t *testing.T) {
+	c := NewCollector(nil)
+	if c.Metrics() == nil {
+		t.Fatal("nil registry")
+	}
+	if c.Tracer().Enabled() {
+		t.Fatal("default tracer should be disabled")
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/views", "application/x-ndjson",
+		strings.NewReader(`{"pub":"p1","video":"v1","url":"http://cdn/a.m3u8"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := c.Metrics().Snapshot().Counters["collector_ingested_total"]; got != 1 {
+		t.Fatalf("ingested %d", got)
+	}
+	if ts := c.Tracer().Snapshot(); ts.SpansTotal != 0 {
+		t.Fatalf("disabled tracer recorded %d spans", ts.SpansTotal)
+	}
+}

@@ -40,8 +40,8 @@ until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
 	sleep 0.1
 done
 
-echo "smoke: streaming $RECORDS records over HTTP"
-"$DIR/vmpgen" -stride 24 -post "http://$ADDR"
+echo "smoke: streaming $RECORDS records over HTTP (with ingest-counter verification)"
+"$DIR/vmpgen" -stride 24 -post "http://$ADDR" -post-verify
 
 echo "smoke: cutting an epoch"
 SNAP=$(curl -sf -X POST "http://$ADDR/v1/snapshot")
@@ -49,6 +49,33 @@ case "$SNAP" in
 *"\"records\":$RECORDS"*) ;;
 *)
 	echo "smoke: snapshot reports wrong record count: $SNAP (want $RECORDS)" >&2
+	exit 1
+	;;
+esac
+
+echo "smoke: checking /v1/metrics ingest counter"
+METRICS=$(curl -sf "http://$ADDR/v1/metrics")
+case "$METRICS" in
+*"\"live_ingest_records_total\":$RECORDS"*) ;;
+*)
+	echo "smoke: metrics ingest counter does not match $RECORDS posted records: $METRICS" >&2
+	exit 1
+	;;
+esac
+
+echo "smoke: checking /v1/trace recorded the epoch cut"
+TRACE=$(curl -sf "http://$ADDR/v1/trace")
+case "$TRACE" in
+*'"name":"epoch.cut"'*) ;;
+*)
+	echo "smoke: no epoch.cut span in /v1/trace" >&2
+	exit 1
+	;;
+esac
+case "$TRACE" in
+*'"type":"generation_published"'*) ;;
+*)
+	echo "smoke: no generation_published event in /v1/trace" >&2
 	exit 1
 	;;
 esac
