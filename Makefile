@@ -54,6 +54,18 @@ bench-live:
 bench-obs:
 	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkIngestTraced' -benchmem -benchtime 3s -count 3 ./internal/live/
 
+# bench-wire measures the wire path end to end: the binary codec in
+# isolation (encode/decode records/s, allocs), the JSONL scan it
+# replaces, and the four HTTP loopback ingest variants (jsonl/binary ×
+# plain/gzip). The headline numbers live in BENCH_live_ingest.json;
+# the binary HTTP path must stay within 2× of BenchmarkLiveIngest's
+# in-process admission rate.
+.PHONY: bench-wire
+bench-wire:
+	$(GO) test -run xxx -bench 'BenchmarkWireEncode|BenchmarkWireDecode' -benchmem ./internal/wire/
+	$(GO) test -run xxx -bench BenchmarkScanJSONL -benchmem ./internal/telemetry/
+	$(GO) test -run xxx -bench BenchmarkHTTPIngest -benchmem ./internal/live/
+
 # bench-lint times a full nine-analyzer run over the module tree and
 # records it in BENCH_lint.json, so analyzer additions that regress
 # lint latency show up in review.

@@ -4,18 +4,21 @@
 // serving plane: instead of (or besides) writing a file, it streams
 // the dataset to a vmpd or vmpcollector ingest endpoint in batches,
 // honoring 429 backpressure responses by waiting out the server's
-// Retry-After hint and retrying the identical batch.
+// Retry-After hint and retrying the identical batch. -encode binary
+// posts the compact binary batch frames (internal/wire) instead of
+// JSONL, and -compress gzips either encoding on the wire.
 //
 // Usage:
 //
 //	vmpgen -o views.jsonl                        # full 27-month dataset
 //	vmpgen -stride 8 | head                      # thinned, to stdout
-//	vmpgen -stride 24 -post http://localhost:8474
+//	vmpgen -stride 24 -post http://localhost:8474 -encode binary -compress
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
@@ -31,6 +34,7 @@ import (
 	"vmp/internal/obs"
 	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
+	"vmp/internal/wire"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func main() {
 		postBatch  = flag.Int("post-batch", 2000, "records per POST batch")
 		postTries  = flag.Int("post-retries", 100, "max retries per batch on backpressure")
 		postVerify = flag.Bool("post-verify", false, "after -post, check the server's /v1/metrics ingest counter covers every posted record")
+		encoding   = flag.String("encode", "jsonl", "POST body encoding: jsonl or binary")
+		compress   = flag.Bool("compress", false, "gzip-compress POST bodies (Content-Encoding: gzip)")
 	)
 	flag.Parse()
 
@@ -75,7 +81,11 @@ func main() {
 
 	if *post != "" {
 		recs := study.Store().All()
-		if err := drive(context.Background(), *post, recs, *postBatch, *postTries, *seed); err != nil {
+		d, err := newDriver(*encoding, *compress, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := d.drive(context.Background(), *post, recs, *postBatch, *postTries); err != nil {
 			fatal(err)
 		}
 		if *postVerify {
@@ -118,60 +128,181 @@ func verifyIngest(url string, posted int64) error {
 	return fmt.Errorf("verify: no ingest counter in /v1/metrics snapshot")
 }
 
+// batchEncoder turns record batches into POST bodies. One buffer and
+// one wire encoder are reused for every batch of the drive, and each
+// batch is encoded exactly once no matter how many times backpressure
+// makes the driver retry it — the retry loop reuses the encoded bytes.
+// encodes counts encode calls so the tests can pin that contract.
+type batchEncoder struct {
+	binary   bool
+	compress bool
+	buf      bytes.Buffer
+	gz       *gzip.Writer
+	enc      *wire.Encoder
+	frame    []byte
+	encodes  int
+}
+
+func newBatchEncoder(encoding string, compress bool) (*batchEncoder, error) {
+	be := &batchEncoder{compress: compress}
+	switch encoding {
+	case "jsonl":
+	case "binary":
+		be.binary = true
+		be.enc = wire.NewEncoder()
+	default:
+		return nil, fmt.Errorf("vmpgen: unknown -encode %q (want jsonl or binary)", encoding)
+	}
+	return be, nil
+}
+
+// contentType returns the Content-Type the encoding negotiates.
+func (be *batchEncoder) contentType() string {
+	if be.binary {
+		return wire.ContentTypeBinary
+	}
+	return wire.ContentTypeJSONL
+}
+
+// encode renders one batch. The returned bytes alias the encoder's
+// buffer and are valid until the next encode call.
+func (be *batchEncoder) encode(recs []telemetry.ViewRecord) ([]byte, error) {
+	be.encodes++
+	be.buf.Reset()
+	var w io.Writer = &be.buf
+	if be.compress {
+		if be.gz == nil {
+			be.gz = gzip.NewWriter(&be.buf)
+		} else {
+			be.gz.Reset(&be.buf)
+		}
+		w = be.gz
+	}
+	if be.binary {
+		var err error
+		be.frame, err = be.enc.AppendFrame(be.frame[:0], recs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(be.frame); err != nil {
+			return nil, err
+		}
+	} else if err := telemetry.EncodeJSONL(w, recs); err != nil {
+		return nil, err
+	}
+	if be.compress {
+		// Close flushes the gzip trailer; losing it truncates the body.
+		if err := be.gz.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return be.buf.Bytes(), nil
+}
+
+// driver streams a dataset to an ingest endpoint. The wait hook is
+// the backpressure sleep (simclock.Wait in production); tests inject
+// a counter to drive retries without real delays.
+type driver struct {
+	be     *batchEncoder
+	client *http.Client
+	jitter *rand.Rand
+	clock  simclock.Clock
+	wait   func(context.Context, time.Duration) error
+
+	// retryAfterHint is the wait post computed from the last 429
+	// response, kept here so drive's retry loop stays free of response
+	// plumbing.
+	retryAfterHint time.Duration
+}
+
+func newDriver(encoding string, compress bool, seed uint64) (*driver, error) {
+	be, err := newBatchEncoder(encoding, compress)
+	if err != nil {
+		return nil, err
+	}
+	return &driver{
+		be:     be,
+		client: &http.Client{Timeout: 30 * time.Second},
+		jitter: rand.New(rand.NewSource(int64(seed))),
+		clock:  simclock.Wall(),
+		wait:   simclock.Wait,
+	}, nil
+}
+
 // drive streams recs to url's /v1/views endpoint in batches. A 429
 // means the server's shard queues are full; the batch is retried
 // unchanged after the Retry-After hint — admission is atomic on the
-// server, so retries never duplicate records. The hint is capped (a
-// confused server cannot stall the driver for minutes at a time) and
-// jittered from a seeded generator, so concurrent drivers
-// desynchronize without run-to-run nondeterminism; the wait itself
-// rides ctx and aborts when the caller is cancelled.
-func drive(ctx context.Context, url string, recs []telemetry.ViewRecord, batch, retries int, seed uint64) error {
+// server, so retries never duplicate records, and the body was
+// encoded once before the first attempt, so retries cost no encode
+// work. The hint is capped (a confused server cannot stall the driver
+// for minutes at a time) and jittered from a seeded generator, so
+// concurrent drivers desynchronize without run-to-run nondeterminism;
+// the wait itself rides ctx and aborts when the caller is cancelled.
+func (d *driver) drive(ctx context.Context, url string, recs []telemetry.ViewRecord, batch, retries int) error {
 	if batch <= 0 {
 		batch = 2000
 	}
-	jitter := rand.New(rand.NewSource(int64(seed)))
-	clk := simclock.Wall()
-	start := clk.Now()
-	client := &http.Client{Timeout: 30 * time.Second}
+	start := d.clock.Now()
 	posted, backpressured := 0, 0
 	for lo := 0; lo < len(recs); lo += batch {
 		hi := lo + batch
 		if hi > len(recs) {
 			hi = len(recs)
 		}
-		var buf bytes.Buffer
-		if err := telemetry.EncodeJSONL(&buf, recs[lo:hi]); err != nil {
+		body, err := d.be.encode(recs[lo:hi])
+		if err != nil {
 			return err
 		}
-		body := buf.Bytes()
 		for attempt := 0; ; attempt++ {
-			resp, err := client.Post(url+"/v1/views", "application/x-ndjson", bytes.NewReader(body))
+			status, err := d.post(ctx, url, body)
 			if err != nil {
 				return err
 			}
-			_, _ = io.Copy(io.Discard, resp.Body)
-			_ = resp.Body.Close()
-			if resp.StatusCode == http.StatusAccepted {
+			if status == http.StatusAccepted {
 				posted += hi - lo
 				break
 			}
-			if resp.StatusCode != http.StatusTooManyRequests {
-				return fmt.Errorf("POST /v1/views: %s", resp.Status)
+			if status != http.StatusTooManyRequests {
+				return fmt.Errorf("POST /v1/views: status %d", status)
 			}
 			backpressured++
 			if attempt >= retries {
 				return fmt.Errorf("batch at record %d still backpressured after %d retries", lo, retries)
 			}
-			if err := simclock.Wait(ctx, retryAfter(resp, jitter)); err != nil {
+			if err := d.wait(ctx, d.retryAfterHint); err != nil {
 				return err
 			}
 		}
 	}
-	elapsed := clk.Now().Sub(start)
-	fmt.Fprintf(os.Stderr, "vmpgen: posted %d records in %v (%.0f records/s, %d backpressure waits)\n",
-		posted, elapsed.Round(time.Millisecond), float64(posted)/elapsed.Seconds(), backpressured)
+	elapsed := d.clock.Now().Sub(start)
+	fmt.Fprintf(os.Stderr, "vmpgen: posted %d records in %v (%.0f records/s, %d backpressure waits, %s%s)\n",
+		posted, elapsed.Round(time.Millisecond), float64(posted)/elapsed.Seconds(), backpressured,
+		map[bool]string{true: "binary", false: "jsonl"}[d.be.binary],
+		map[bool]string{true: "+gzip", false: ""}[d.be.compress])
 	return nil
+}
+
+// post sends one encoded batch and returns the status code. On a 429
+// it parses the Retry-After hint into d.retryAfterHint.
+func (d *driver) post(ctx context.Context, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/views", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", d.be.contentType())
+	if d.be.compress {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		d.retryAfterHint = retryAfter(resp, d.jitter)
+	}
+	return resp.StatusCode, nil
 }
 
 // retryAfterCap bounds how long a single Retry-After hint can stall

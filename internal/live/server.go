@@ -1,19 +1,22 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"vmp/internal/obs"
-	"vmp/internal/telemetry"
+	"vmp/internal/wire"
 )
 
 // Server exposes an Engine over HTTP: wire-level ingest on the
-// collector's /v1/views contract, the query API over the published
-// generation, an admin snapshot trigger, and the shared observability
-// surface (metrics, trace, debug).
+// collector's /v1/views contract (binary batch frames or the JSONL
+// fallback, either one gzip-compressed — see wire.DecodeBody), the
+// query API over the published generation, an admin snapshot trigger,
+// and the shared observability surface (metrics, trace, debug).
 type Server struct {
 	engine *Engine
 	tracer *obs.Tracer
@@ -21,6 +24,12 @@ type Server struct {
 	rejected   *obs.Counter
 	scanErrors *obs.Counter
 	qLatency   map[string]*obs.Histogram
+
+	// decoders recycles wire decoders across ingest requests; a
+	// decoder's scratch is only reused after IngestSpan has copied the
+	// batch into per-shard slices, which happens before the handler
+	// returns it to the pool.
+	decoders sync.Pool
 }
 
 // queryLatencyBounds are the per-endpoint latency buckets, in seconds.
@@ -39,6 +48,7 @@ func NewServer(e *Engine) *Server {
 	for _, ep := range []string{"share", "top-publishers", "window"} {
 		s.qLatency[ep] = reg.Histogram("live_query_"+ep+"_seconds", queryLatencyBounds)
 	}
+	s.decoders.New = func() any { return wire.NewDecoder() }
 	return s
 }
 
@@ -78,12 +88,25 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 	defer func() { _ = r.Body.Close() }()
 	root := s.tracer.Start("ingest.batch", 0)
 	ssp := s.tracer.Start("ingest.scan", root.ID())
-	batch, bad, err := telemetry.ScanJSONL(r.Body)
-	ssp.End(obs.KV("records", int64(len(batch))), obs.KV("bad", int64(bad)))
+	dec := s.decoders.Get().(*wire.Decoder)
+	defer s.decoders.Put(dec)
+	batch, bad, info, err := wire.DecodeBody(r.Header, r.Body, dec)
+	ssp.End(obs.KV("records", int64(len(batch))), obs.KV("bad", int64(bad)),
+		obs.KV("binary", boolAttr(info.Binary)), obs.KV("gzip", boolAttr(info.Gzip)),
+		obs.KV("bytes", info.Bytes))
 	s.rejected.Add(int64(bad))
+	if errors.Is(err, wire.ErrUnsupportedMedia) {
+		// Negotiation failure: no body bytes were consumed, nothing to
+		// count against the batch — the client simply spoke a media
+		// type or content coding this server does not.
+		root.End(obs.KV("unsupported_media", 1))
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
 	if err != nil {
-		// Cut-short stream (oversized line or transport error): reject
-		// the whole batch so a retry is exact, and count the event.
+		// Cut-short stream (oversized line, truncated or corrupt binary
+		// frame, bad gzip, transport error): reject the whole batch so
+		// a retry is exact, and count the event.
 		s.scanErrors.Add(1)
 		s.rejected.Add(int64(len(batch)))
 		s.tracer.Emit("batch_rejected",
@@ -117,6 +140,14 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintf(w, `{"accepted":%d,"backpressured":0,"rejected":%d}`+"\n", res.Accepted, bad)
 	root.End(obs.KV("accepted", int64(res.Accepted)), obs.KV("rejected", int64(bad)))
+}
+
+// boolAttr renders a bool as a 0/1 span attribute.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

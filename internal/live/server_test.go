@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"vmp/internal/telemetry"
+	"vmp/internal/wire"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *Engine) {
@@ -315,6 +317,188 @@ func TestServerMixedWorkloadRace(t *testing.T) {
 	if g.Records != accepted {
 		t.Fatalf("final generation has %d records, accepted %d", g.Records, accepted)
 	}
+}
+
+// postRaw posts body with explicit Content-Type / Content-Encoding
+// headers through client, reusing its connection pool.
+func postRaw(t *testing.T, client *http.Client, url, ct, ce string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/views", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if ce != "" {
+		req.Header.Set("Content-Encoding", ce)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func encodeBinary(t *testing.T, recs []telemetry.ViewRecord) []byte {
+	t.Helper()
+	frame, err := wire.NewEncoder().AppendFrame(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func gzipBytes(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestServerUnknownContentType pins the negotiation contract: a media
+// type or content coding the server does not speak is a 415, not a
+// scan error, and admits nothing.
+func TestServerUnknownContentType(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 2})
+	frame := encodeBinary(t, genRecords(5))
+	for _, tc := range []struct{ name, ct, ce string }{
+		{"unknown_media_type", "application/xml", ""},
+		{"unknown_coding", "application/x-ndjson", "br"},
+		{"binary_unknown_coding", wire.ContentTypeBinary, "deflate"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postRaw(t, srv.Client(), srv.URL, tc.ct, tc.ce, frame)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusUnsupportedMediaType {
+				t.Fatalf("status = %s, want 415", resp.Status)
+			}
+		})
+	}
+	if got := e.Metrics().Counter("live_ingest_scan_errors_total").Load(); got != 0 {
+		t.Fatalf("negotiation failures counted as scan errors: %d", got)
+	}
+	if g := e.Snapshot(); g.Records != 0 {
+		t.Fatalf("415 requests leaked %d records", g.Records)
+	}
+}
+
+// TestServerTruncatedBinaryFrame pins the whole-batch-reject contract
+// on the binary path: a frame cut mid-payload is a 400, bumps the
+// scan-error counter, and admits none of the batch, so a client retry
+// of the full body is exact.
+func TestServerTruncatedBinaryFrame(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 2})
+	frame := encodeBinary(t, genRecords(50))
+	for _, tc := range []struct {
+		name string
+		body []byte
+		ce   string
+	}{
+		{"cut_payload", frame[:len(frame)-7], ""},
+		{"cut_prefix", frame[:2], ""},
+		{"corrupt_magic", append([]byte{frame[0], frame[1], frame[2], frame[3], 'X'}, frame[5:]...), ""},
+		{"cut_gzip", gzipBytes(t, frame)[:8], "gzip"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := e.Metrics().Counter("live_ingest_scan_errors_total").Load()
+			resp := postRaw(t, srv.Client(), srv.URL, wire.ContentTypeBinary, tc.ce, tc.body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %s, want 400", resp.Status)
+			}
+			if got := e.Metrics().Counter("live_ingest_scan_errors_total").Load(); got != before+1 {
+				t.Fatalf("scan_errors = %d, want %d", got, before+1)
+			}
+		})
+	}
+	if g := e.Snapshot(); g.Records != 0 {
+		t.Fatalf("rejected frames leaked %d records", g.Records)
+	}
+}
+
+// TestServerMixedEncodingsOneConnection interleaves JSONL, binary, and
+// gzip-compressed batches over one keep-alive client against a single
+// server: negotiation is per-request, so every combination lands and
+// the query surface answers identically to a JSONL-only twin server
+// fed the same records.
+func TestServerMixedEncodingsOneConnection(t *testing.T) {
+	_, srv, e := newTestServer(t, Config{Shards: 4})
+	_, refSrv, refEngine := newTestServer(t, Config{Shards: 4})
+	client := srv.Client()
+
+	all := genRecords(400)
+	jsonl := func(recs []telemetry.ViewRecord) []byte {
+		var buf bytes.Buffer
+		if err := telemetry.EncodeJSONL(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	type batch struct {
+		ct, ce string
+		body   []byte
+	}
+	batches := []batch{
+		{"application/x-ndjson", "", jsonl(all[0:100])},
+		{wire.ContentTypeBinary, "", encodeBinary(t, all[100:200])},
+		{wire.ContentTypeBinary, "gzip", gzipBytes(t, encodeBinary(t, all[200:300]))},
+		{"application/x-ndjson", "gzip", gzipBytes(t, jsonl(all[300:400]))},
+	}
+	for i, b := range batches {
+		resp := postRaw(t, client, srv.URL, b.ct, b.ce, b.body)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("batch %d (%s/%s) = %s: %s", i, b.ct, b.ce, resp.Status, body)
+		}
+	}
+	// The reference server ingests the same records as plain JSONL.
+	resp := postViews(t, refSrv.Client(), refSrv.URL, all)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("reference ingest = %s", resp.Status)
+	}
+
+	if g := e.Snapshot(); g.Records != len(all) {
+		t.Fatalf("mixed-encoding server has %d records, want %d", g.Records, len(all))
+	}
+	refEngine.Snapshot()
+	for _, path := range []string{
+		"/v1/query/share?dim=protocol",
+		"/v1/query/share?dim=cdn&by=views",
+		"/v1/query/top-publishers?n=5",
+		"/v1/query/window?start=2016-01-01&days=50",
+	} {
+		got := getBody(t, client, srv.URL+path)
+		want := getBody(t, refSrv.Client(), refSrv.URL+path)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("query %s differs between mixed-encoding and JSONL ingest:\nmixed: %s\njsonl: %s", path, got, want)
+		}
+	}
+}
+
+func getBody(t *testing.T, client *http.Client, url string) []byte {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %s", url, resp.Status)
+	}
+	return body
 }
 
 func TestServerHealthz(t *testing.T) {

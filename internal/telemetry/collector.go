@@ -1,23 +1,31 @@
 package telemetry
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"vmp/internal/manifest"
 	"vmp/internal/obs"
+	"vmp/internal/wire"
 )
 
+// boolAttr renders a bool as a 0/1 span attribute.
+func boolAttr(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // MaxLineBytes is the largest JSONL line the wire-level ingest paths
-// accept. bufio.Scanner's default cap is 64 KiB, which a record with a
-// long CDN list or bitrate ladder can exceed; every ingest scanner in
-// the module (collector and live serving plane) shares this limit so a
-// long line is a surfaced scan error, never a silent truncation.
-const MaxLineBytes = 1 << 20
+// accept; it lives in internal/wire with the rest of the codecs and
+// is re-exported here for the storage-side callers.
+const MaxLineBytes = wire.MaxLineBytes
 
 // ScanJSONL reads JSON-lines view records from r with the module-wide
 // MaxLineBytes line cap. Blank lines are skipped; lines that fail to
@@ -26,21 +34,7 @@ const MaxLineBytes = 1 << 20
 // stream was cut short: batch holds the records scanned up to that
 // point and the caller decides whether to keep them.
 func ScanJSONL(r io.Reader) (batch []ViewRecord, bad int, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), MaxLineBytes)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var rec ViewRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Publisher == "" {
-			bad++
-			continue
-		}
-		batch = append(batch, rec)
-	}
-	return batch, bad, sc.Err()
+	return wire.ScanJSONL(r)
 }
 
 // Collector is the backend half of the monitoring pipeline: an HTTP
@@ -61,6 +55,11 @@ type Collector struct {
 	ingested   *obs.Counter
 	rejected   *obs.Counter
 	scanErrors *obs.Counter
+
+	// decoders recycles wire decoders across ingest requests; a
+	// decoder's scratch is only reused after Store.Append has copied
+	// the batch, which happens before the handler returns it.
+	decoders sync.Pool
 }
 
 // NewCollector returns a collector backed by store with a private
@@ -84,7 +83,7 @@ func NewCollectorObs(store *Store, reg *obs.Registry, tr *obs.Tracer) *Collector
 		tr = obs.NewTracer(nil, 1)
 		tr.SetEnabled(false)
 	}
-	return &Collector{
+	c := &Collector{
 		store:      store,
 		reg:        reg,
 		tracer:     tr,
@@ -92,6 +91,8 @@ func NewCollectorObs(store *Store, reg *obs.Registry, tr *obs.Tracer) *Collector
 		rejected:   reg.Counter("collector_rejected_total"),
 		scanErrors: reg.Counter("collector_scan_errors_total"),
 	}
+	c.decoders.New = func() any { return wire.NewDecoder() }
+	return c
 }
 
 // Store returns the backing store.
@@ -124,12 +125,22 @@ func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
 	defer func() { _ = r.Body.Close() }()
 	root := c.tracer.Start("ingest.batch", 0)
 	ssp := c.tracer.Start("ingest.scan", root.ID())
-	batch, bad, err := ScanJSONL(r.Body)
-	ssp.End(obs.KV("records", int64(len(batch))), obs.KV("bad", int64(bad)))
+	dec := c.decoders.Get().(*wire.Decoder)
+	defer c.decoders.Put(dec)
+	batch, bad, info, err := wire.DecodeBody(r.Header, r.Body, dec)
+	ssp.End(obs.KV("records", int64(len(batch))), obs.KV("bad", int64(bad)),
+		obs.KV("binary", boolAttr(info.Binary)), obs.KV("gzip", boolAttr(info.Gzip)),
+		obs.KV("bytes", info.Bytes))
+	if errors.Is(err, wire.ErrUnsupportedMedia) {
+		root.End(obs.KV("unsupported_media", 1))
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+		return
+	}
 	if err != nil {
-		// The batch was cut short (oversized line or transport error):
-		// reject it whole, and surface the event on the stats counters
-		// so a misbehaving sensor is visible, not silent.
+		// The batch was cut short (oversized line, truncated or corrupt
+		// binary frame, bad gzip, transport error): reject it whole,
+		// and surface the event on the stats counters so a misbehaving
+		// sensor is visible, not silent.
 		c.scanErrors.Add(1)
 		c.rejected.Add(int64(len(batch) + bad))
 		c.tracer.Emit("batch_rejected",
@@ -294,26 +305,10 @@ func (s *Sensor) Pending() int { return len(s.batch) }
 
 // EncodeJSONL writes records to w as JSON lines.
 func EncodeJSONL(w io.Writer, records []ViewRecord) error {
-	enc := json.NewEncoder(w)
-	for i := range records {
-		if err := enc.Encode(&records[i]); err != nil {
-			return fmt.Errorf("telemetry: encoding record %d: %w", i, err)
-		}
-	}
-	return nil
+	return wire.EncodeJSONL(w, records)
 }
 
 // DecodeJSONL reads JSON-lines records from r until EOF.
 func DecodeJSONL(r io.Reader) ([]ViewRecord, error) {
-	var out []ViewRecord
-	dec := json.NewDecoder(r)
-	for {
-		var rec ViewRecord
-		if err := dec.Decode(&rec); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, fmt.Errorf("telemetry: decoding record %d: %w", len(out), err)
-		}
-		out = append(out, rec)
-	}
+	return wire.DecodeJSONL(r)
 }

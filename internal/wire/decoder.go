@@ -1,0 +1,370 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"vmp/internal/telemetry/record"
+)
+
+// MaxFrameRecords bounds the record count a single frame may declare.
+// Together with MaxFrameBytes and the per-record minimum-size check it
+// keeps a hostile count varint from provoking an allocation that is
+// wildly out of proportion to the bytes actually sent.
+const MaxFrameRecords = 1 << 20
+
+// errTruncated reports a stream that ended mid-frame.
+var errTruncated = errors.New("wire: truncated frame")
+
+// Decoder parses binary frame streams straight into the columnar
+// []record.ViewRecord layout: no intermediate per-record structs, no
+// per-field allocations. The record slice, frame buffer, and table
+// scratch are reused across DecodeAll calls and distinct string
+// values are interned in a persistent cache, so a steady decode loop
+// over similar batches allocates only the per-call CDN/bitrate
+// arenas — zero allocations per record.
+//
+// Ownership contract: the slice DecodeAll returns (and the structs in
+// it) is valid only until the next DecodeAll call on the same
+// decoder. Both ingest paths copy records out synchronously (the live
+// engine partitions into per-shard slices inside Ingest, the
+// collector's Store.Append copies into its backing array), which is
+// what makes the reuse safe. A Decoder is not safe for concurrent
+// use; pool decoders per request instead.
+type Decoder struct {
+	frame  []byte
+	recs   []record.ViewRecord
+	names  []string
+	intern map[string]string
+	lenbuf [4]byte
+
+	// arena sizing hints carried across calls so steady-state decoding
+	// pays one allocation per arena per call, not per growth step.
+	cdnCap, brCap int
+}
+
+// NewDecoder returns an empty decoder.
+func NewDecoder() *Decoder {
+	return &Decoder{intern: make(map[string]string)}
+}
+
+// internCap bounds the persistent string cache; past it the cache is
+// cleared rather than grown, so a stream of unique strings cannot
+// grow the decoder without bound.
+const internCap = 1 << 15
+
+// internBytes returns the canonical string for b, allocating only on
+// first sight of a value.
+func (d *Decoder) internBytes(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	if len(d.intern) >= internCap {
+		clear(d.intern)
+	}
+	s := string(b)
+	d.intern[s] = s
+	return s
+}
+
+// DecodeAll reads every frame from r and returns the decoded records.
+// The returned slice is valid until the next DecodeAll call; see the
+// type comment. Any framing or layout violation — a truncated frame,
+// an unknown version or flag, an out-of-range table ID, trailing
+// bytes — fails the whole stream: ingest handlers reject the batch so
+// a retry is exact.
+func (d *Decoder) DecodeAll(r io.Reader) ([]record.ViewRecord, error) {
+	d.recs = d.recs[:0]
+	st := decodeState{
+		cdns: make([]string, 0, d.cdnCap),
+		brs:  make([]int, 0, d.brCap),
+	}
+	for {
+		if _, err := io.ReadFull(r, d.lenbuf[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("wire: reading frame length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(d.lenbuf[:])
+		if n > MaxFrameBytes {
+			return nil, fmt.Errorf("wire: frame payload %d bytes exceeds MaxFrameBytes %d", n, MaxFrameBytes)
+		}
+		if cap(d.frame) < int(n) {
+			d.frame = make([]byte, n)
+		}
+		d.frame = d.frame[:n]
+		if _, err := io.ReadFull(r, d.frame); err != nil {
+			return nil, fmt.Errorf("%w: payload short of %d bytes", errTruncated, n)
+		}
+		if err := d.decodeFrame(d.frame, &st); err != nil {
+			return nil, err
+		}
+	}
+	if cap(st.cdns) > d.cdnCap {
+		d.cdnCap = cap(st.cdns)
+	}
+	if cap(st.brs) > d.brCap {
+		d.brCap = cap(st.brs)
+	}
+	return d.recs, nil
+}
+
+// decodeState holds the per-call arenas the variable-length record
+// fields sub-slice. They are freshly allocated each DecodeAll call —
+// never reused — because admitted records retain views into them.
+type decodeState struct {
+	cdns []string
+	brs  []int
+}
+
+// frameReader is a bounds-checked cursor over one frame payload.
+type frameReader struct {
+	b   []byte
+	pos int
+}
+
+func (fr *frameReader) remaining() int { return len(fr.b) - fr.pos }
+
+func (fr *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(fr.b[fr.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint at offset %d", errTruncated, fr.pos)
+	}
+	fr.pos += n
+	return v, nil
+}
+
+func (fr *frameReader) take(n int) ([]byte, error) {
+	if n < 0 || fr.remaining() < n {
+		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d", errTruncated, n, fr.pos, fr.remaining())
+	}
+	b := fr.b[fr.pos : fr.pos+n]
+	fr.pos += n
+	return b, nil
+}
+
+// decodeFrame parses one payload, appending its records to d.recs.
+func (d *Decoder) decodeFrame(payload []byte, st *decodeState) error {
+	fr := &frameReader{b: payload}
+	hdr, err := fr.take(4)
+	if err != nil {
+		return err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return fmt.Errorf("wire: bad frame magic %q", hdr[:2])
+	}
+	if hdr[2] != Version {
+		return fmt.Errorf("wire: unknown frame version %d (decoder speaks %d)", hdr[2], Version)
+	}
+	if hdr[3] != 0 {
+		return fmt.Errorf("wire: unknown frame flags 0x%02x", hdr[3])
+	}
+	count64, err := fr.uvarint()
+	if err != nil {
+		return err
+	}
+	if count64 > MaxFrameRecords {
+		return fmt.Errorf("wire: frame declares %d records, cap is %d", count64, MaxFrameRecords)
+	}
+	n := int(count64)
+	// A record costs at least one byte in each varint column plus its
+	// bitset bits; reject counts the remaining bytes cannot possibly
+	// hold before allocating anything proportional to them.
+	minBytes := n*(1+numStringFields+1+1+4) + 3*((n+7)/8)
+	if fr.remaining() < minBytes {
+		return fmt.Errorf("%w: %d records need at least %d payload bytes, have %d", errTruncated, n, minBytes, fr.remaining())
+	}
+
+	// String table.
+	tcount64, err := fr.uvarint()
+	if err != nil {
+		return err
+	}
+	if tcount64 > uint64(fr.remaining()) {
+		return fmt.Errorf("%w: table declares %d entries with %d bytes left", errTruncated, tcount64, fr.remaining())
+	}
+	tcount := int(tcount64)
+	names := d.names[:0]
+	for i := 0; i < tcount; i++ {
+		l, err := fr.uvarint()
+		if err != nil {
+			return err
+		}
+		if l > uint64(fr.remaining()) {
+			return fmt.Errorf("%w: table entry %d declares %d bytes with %d left", errTruncated, i, l, fr.remaining())
+		}
+		b, err := fr.take(int(l))
+		if err != nil {
+			return err
+		}
+		names = append(names, d.internBytes(b))
+	}
+	d.names = names
+
+	// Grow the output slice; all fields of every new slot are assigned
+	// below, so reused slots need no zeroing.
+	base := len(d.recs)
+	if cap(d.recs)-base < n {
+		grown := make([]record.ViewRecord, base, base+n)
+		copy(grown, d.recs)
+		d.recs = grown
+	}
+	d.recs = d.recs[:base+n]
+	out := d.recs[base:]
+
+	// Timestamp column.
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		u, err := fr.uvarint()
+		if err != nil {
+			return err
+		}
+		prev += unzigzag(u)
+		out[i].Timestamp = time.Unix(0, prev).UTC()
+	}
+	// Single-valued string columns.
+	for f := 0; f < numStringFields; f++ {
+		for i := 0; i < n; i++ {
+			id, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			if id >= uint64(tcount) {
+				return fmt.Errorf("wire: string ID %d out of table range %d", id, tcount)
+			}
+			setStringField(&out[i], f, names[id])
+		}
+	}
+	// CDN lists.
+	for i := 0; i < n; i++ {
+		k64, err := fr.uvarint()
+		if err != nil {
+			return err
+		}
+		if k64 > uint64(fr.remaining()) {
+			return fmt.Errorf("%w: CDN list declares %d entries with %d bytes left", errTruncated, k64, fr.remaining())
+		}
+		k := int(k64)
+		if k == 0 {
+			out[i].CDNs = nil
+			continue
+		}
+		start := len(st.cdns)
+		for j := 0; j < k; j++ {
+			id, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			if id >= uint64(tcount) {
+				return fmt.Errorf("wire: CDN ID %d out of table range %d", id, tcount)
+			}
+			st.cdns = append(st.cdns, names[id])
+		}
+		out[i].CDNs = st.cdns[start : start+k : start+k]
+	}
+	// Bitrate ladders.
+	for i := 0; i < n; i++ {
+		k64, err := fr.uvarint()
+		if err != nil {
+			return err
+		}
+		if k64 > uint64(fr.remaining()) {
+			return fmt.Errorf("%w: bitrate ladder declares %d entries with %d bytes left", errTruncated, k64, fr.remaining())
+		}
+		k := int(k64)
+		if k == 0 {
+			out[i].Bitrates = nil
+			continue
+		}
+		start := len(st.brs)
+		for j := 0; j < k; j++ {
+			u, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			st.brs = append(st.brs, int(unzigzag(u)))
+		}
+		out[i].Bitrates = st.brs[start : start+k : start+k]
+	}
+	// Boolean bitset columns.
+	if err := readBitset(fr, out, func(r *record.ViewRecord, v bool) { r.Live = v }); err != nil {
+		return err
+	}
+	if err := readBitset(fr, out, func(r *record.ViewRecord, v bool) { r.Syndicated = v }); err != nil {
+		return err
+	}
+	if err := readBitset(fr, out, func(r *record.ViewRecord, v bool) { r.Failed = v }); err != nil {
+		return err
+	}
+	// Float columns.
+	for _, set := range floatSetters {
+		for i := 0; i < n; i++ {
+			u, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			set(&out[i], unfloatBits(u))
+		}
+	}
+	if fr.remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after columns", fr.remaining())
+	}
+	return nil
+}
+
+// setStringField assigns string column f of r; the order must match
+// stringFields.
+func setStringField(r *record.ViewRecord, f int, s string) {
+	switch f {
+	case 0:
+		r.Publisher = s
+	case 1:
+		r.VideoID = s
+	case 2:
+		r.URL = s
+	case 3:
+		r.Device = s
+	case 4:
+		r.OS = s
+	case 5:
+		r.UserAgent = s
+	case 6:
+		r.SDK = s
+	case 7:
+		r.SDKVersion = s
+	case 8:
+		r.ISP = s
+	case 9:
+		r.ConnType = s
+	case 10:
+		r.Geo = s
+	case 11:
+		r.ContentID = s
+	case 12:
+		r.Owner = s
+	}
+}
+
+// floatSetters assigns the float columns in frame order.
+var floatSetters = [4]func(*record.ViewRecord, float64){
+	func(r *record.ViewRecord, v float64) { r.ViewSec = v },
+	func(r *record.ViewRecord, v float64) { r.AvgBitrateKbps = v },
+	func(r *record.ViewRecord, v float64) { r.RebufferSec = v },
+	func(r *record.ViewRecord, v float64) { r.Weight = v },
+}
+
+// readBitset unpacks one LSB-first bitset column into out via set.
+func readBitset(fr *frameReader, out []record.ViewRecord, set func(*record.ViewRecord, bool)) error {
+	b, err := fr.take((len(out) + 7) / 8)
+	if err != nil {
+		return err
+	}
+	for i := range out {
+		set(&out[i], b[i/8]&(1<<(uint(i)%8)) != 0)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"vmp/internal/telemetry/record"
+)
+
+// BodyInfo describes how an ingest request body was decoded; ingest
+// handlers attach it to their scan spans so traces say which encoding
+// a batch arrived in and how many payload bytes it decoded to.
+type BodyInfo struct {
+	Binary bool  // binary batch frames (vs the JSONL fallback)
+	Gzip   bool  // body arrived Content-Encoding: gzip
+	Bytes  int64 // decoded (post-decompression) payload bytes
+}
+
+// jsonlContentTypes are the media types the JSONL fallback accepts.
+// The empty type keeps bare POSTs working; x-www-form-urlencoded is
+// what curl --data-binary stamps on piped uploads.
+var jsonlContentTypes = map[string]bool{
+	"":                                  true,
+	ContentTypeJSONL:                    true,
+	"application/json":                  true,
+	"application/x-www-form-urlencoded": true,
+	"text/plain":                        true,
+}
+
+// gzPool recycles gzip readers across requests; inflating a fresh
+// reader per batch costs more than decoding the batch itself.
+var gzPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+// countingReader counts bytes as they are consumed.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// DecodeBody negotiates and decodes one ingest request body: the
+// Content-Type header picks the decoder (ContentTypeBinary for frame
+// streams, the JSONL fallback otherwise) and Content-Encoding: gzip
+// is transparently inflated for both. It is the one decode path the
+// live serving plane and the collector share.
+//
+// A media type or content coding the ingest path does not speak fails
+// with ErrUnsupportedMedia before any body bytes are read (handlers
+// map it to 415). Binary decode errors reject the whole batch (recs
+// nil, bad 0); JSONL keeps its per-line bad count with err reserved
+// for a cut-short stream. Binary records decode through dec and obey
+// its reuse contract: they are valid until dec's next DecodeAll.
+func DecodeBody(hdr http.Header, body io.Reader, dec *Decoder) (recs []record.ViewRecord, bad int, info BodyInfo, err error) {
+	ct := hdr.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	switch {
+	case ct == ContentTypeBinary:
+		info.Binary = true
+	case jsonlContentTypes[strings.ToLower(ct)]:
+	default:
+		return nil, 0, info, fmt.Errorf("%w: Content-Type %q", ErrUnsupportedMedia, ct)
+	}
+
+	switch ce := strings.ToLower(strings.TrimSpace(hdr.Get("Content-Encoding"))); ce {
+	case "", "identity":
+	case "gzip", "x-gzip":
+		info.Gzip = true
+		gz := gzPool.Get().(*gzip.Reader)
+		if err := gz.Reset(body); err != nil {
+			gzPool.Put(gz)
+			return nil, 0, info, fmt.Errorf("wire: bad gzip body: %w", err)
+		}
+		defer func() {
+			// A Close error means a corrupt trailing checksum: surface it
+			// as a decode failure unless one is already being returned.
+			if cerr := gz.Close(); cerr != nil && err == nil {
+				recs, bad, err = nil, 0, fmt.Errorf("wire: closing gzip body: %w", cerr)
+			}
+			gzPool.Put(gz)
+		}()
+		body = gz
+	default:
+		return nil, 0, info, fmt.Errorf("%w: Content-Encoding %q", ErrUnsupportedMedia, ce)
+	}
+
+	cr := &countingReader{r: body}
+	defer func() { info.Bytes = cr.n }()
+	if info.Binary {
+		recs, err = dec.DecodeAll(cr)
+		return recs, 0, info, err
+	}
+	recs, bad, err = ScanJSONL(cr)
+	return recs, bad, info, err
+}

@@ -1,0 +1,263 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"vmp/internal/telemetry"
+	"vmp/internal/telemetry/record"
+	"vmp/internal/wire"
+)
+
+// genRecords builds a deterministic, dimension-diverse batch: repeated
+// publishers/devices/CDNs (the interning win), app and browser views,
+// multi-CDN views, empty optional fields, weighted and failed records.
+func genRecords(n int) []record.ViewRecord {
+	base := time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)
+	cdnSets := [][]string{{"cdn-a"}, {"cdn-b"}, {"cdn-a", "cdn-b"}, {"cdn-c", "cdn-a", "cdn-b"}, nil}
+	ladders := [][]int{{400, 800, 1600}, {235, 375, 560, 750, 1050, 1750, 2350}, nil, {3000}}
+	recs := make([]record.ViewRecord, n)
+	for i := range recs {
+		r := record.ViewRecord{
+			Timestamp:      base.Add(time.Duration(i) * 37 * time.Second),
+			Publisher:      fmt.Sprintf("pub-%02d", i%7),
+			VideoID:        fmt.Sprintf("vid-%04d", i%101),
+			URL:            fmt.Sprintf("http://v.example/%d/master.m3u8", i%11),
+			Device:         []string{"Roku", "iPhone", "HTML5", "XBox"}[i%4],
+			OS:             []string{"RokuOS", "iOS", "", "Windows"}[i%4],
+			CDNs:           cdnSets[i%len(cdnSets)],
+			Bitrates:       ladders[i%len(ladders)],
+			ISP:            fmt.Sprintf("isp-%d", i%3),
+			ConnType:       []string{"wifi", "cell", ""}[i%3],
+			Geo:            []string{"US-CA", "US-NY", "DE-BE"}[i%3],
+			Live:           i%5 == 0,
+			Syndicated:     i%6 == 0,
+			ContentID:      fmt.Sprintf("title-%d", i%13),
+			ViewSec:        float64(i%900) + 0.25,
+			AvgBitrateKbps: 600 + float64(i%8)*150,
+			RebufferSec:    float64(i%10) / 4,
+			Failed:         i%17 == 0,
+		}
+		if i%4 == 1 {
+			r.SDK = "roku-sdk"
+			r.SDKVersion = "2.1"
+		} else {
+			r.UserAgent = fmt.Sprintf("UA/%d", i%5)
+		}
+		if i%6 == 0 {
+			r.Owner = "pub-00"
+		}
+		if i%9 == 0 {
+			r.Weight = float64(i%50) + 0.5
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+func encodeFrames(t testing.TB, recs []record.ViewRecord) []byte {
+	t.Helper()
+	frame, err := wire.NewEncoder().AppendFrame(nil, recs)
+	if err != nil {
+		t.Fatalf("AppendFrame: %v", err)
+	}
+	return frame
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := genRecords(257) // not a multiple of 8: exercises the bitset tail
+	out, err := wire.NewDecoder().DecodeAll(bytes.NewReader(encodeFrames(t, in)))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(in[i], out[i]) {
+			t.Fatalf("record %d mismatch:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestRoundTripEmptyBatch(t *testing.T) {
+	out, err := wire.NewDecoder().DecodeAll(bytes.NewReader(encodeFrames(t, nil)))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("decoded %d records from empty batch", len(out))
+	}
+}
+
+// TestCanonicalByteIdentity pins the determinism contract: encoding a
+// canonically sorted batch, decoding it, and re-encoding the decode
+// result — with a fresh encoder — must reproduce the frame bytes
+// exactly.
+func TestCanonicalByteIdentity(t *testing.T) {
+	recs := genRecords(200)
+	telemetry.CanonicalSort(recs)
+	f1 := encodeFrames(t, recs)
+	dec := wire.NewDecoder()
+	out, err := dec.DecodeAll(bytes.NewReader(f1))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	f2 := encodeFrames(t, out)
+	if !bytes.Equal(f1, f2) {
+		t.Fatalf("encode→decode→encode changed the frame: %d vs %d bytes", len(f1), len(f2))
+	}
+	// Same batch through the same encoder twice is also identical.
+	f3 := encodeFrames(t, recs)
+	if !bytes.Equal(f1, f3) {
+		t.Fatal("re-encoding the same batch produced different bytes")
+	}
+}
+
+// TestMultiFrameStream checks a body holding several frames decodes to
+// the concatenated record sequence — the shape a streaming client
+// produces when it splits a large batch.
+func TestMultiFrameStream(t *testing.T) {
+	recs := genRecords(90)
+	enc := wire.NewEncoder()
+	var stream []byte
+	var err error
+	for lo := 0; lo < len(recs); lo += 40 {
+		hi := min(lo+40, len(recs))
+		stream, err = enc.AppendFrame(stream, recs[lo:hi])
+		if err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	out, err := wire.NewDecoder().DecodeAll(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if !reflect.DeepEqual(recs, out) {
+		t.Fatalf("multi-frame decode mismatch: got %d records, want %d", len(out), len(recs))
+	}
+}
+
+// TestDecoderReuse pins the ownership contract both ingest paths rely
+// on: records copied out of one DecodeAll result stay intact after the
+// decoder is reused for a different batch.
+func TestDecoderReuse(t *testing.T) {
+	a, b := genRecords(64), genRecords(128)[64:]
+	dec := wire.NewDecoder()
+	got, err := dec.DecodeAll(bytes.NewReader(encodeFrames(t, a)))
+	if err != nil {
+		t.Fatalf("DecodeAll(a): %v", err)
+	}
+	kept := make([]record.ViewRecord, len(got))
+	copy(kept, got) // what Engine.Ingest / Store.Append do, synchronously
+	if _, err := dec.DecodeAll(bytes.NewReader(encodeFrames(t, b))); err != nil {
+		t.Fatalf("DecodeAll(b): %v", err)
+	}
+	if !reflect.DeepEqual(a, kept) {
+		t.Fatal("records copied out of the first decode were corrupted by the second")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := encodeFrames(t, genRecords(10))
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		c := append([]byte(nil), valid...)
+		return mutate(c)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated length prefix", valid[:2]},
+		{"truncated payload", valid[:len(valid)-3]},
+		{"bad magic", corrupt(func(b []byte) []byte { b[4] = 'X'; return b })},
+		{"unknown version", corrupt(func(b []byte) []byte { b[6] = 99; return b })},
+		{"unknown flags", corrupt(func(b []byte) []byte { b[7] = 0x80; return b })},
+		{"oversized length prefix", []byte{0xff, 0xff, 0xff, 0xff}},
+		{"garbage", bytes.Repeat([]byte{0xa5}, 64)},
+		{"trailing bytes", func() []byte {
+			// Grow the declared payload length past the columns.
+			c := append([]byte(nil), valid...)
+			c = append(c, 0, 0, 0)
+			c[0] += 3
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := wire.NewDecoder().DecodeAll(bytes.NewReader(tc.data)); err == nil {
+				t.Fatal("decode succeeded on corrupt input")
+			}
+		})
+	}
+}
+
+// TestDecodeSteadyStateAllocs pins the zero-allocations-per-record
+// claim: decoding a warm 1000-record batch must cost at most a
+// handful of per-call allocations (the CDN/bitrate arenas plus the
+// reader), independent of the record count.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	recs := genRecords(1000)
+	stream := encodeFrames(t, recs)
+	dec := wire.NewDecoder()
+	rd := bytes.NewReader(stream)
+	decode := func() {
+		rd.Reset(stream)
+		if _, err := dec.DecodeAll(rd); err != nil {
+			t.Fatalf("DecodeAll: %v", err)
+		}
+	}
+	decode() // warm scratch buffers and the intern cache
+	allocs := testing.AllocsPerRun(50, decode)
+	if allocs > 8 {
+		t.Fatalf("steady-state DecodeAll of 1000 records costs %.1f allocs/op, want <= 8", allocs)
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	recs := genRecords(2000)
+	telemetry.CanonicalSort(recs)
+	enc := wire.NewEncoder()
+	var frame []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame, err = enc.AppendFrame(frame[:0], recs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(len(frame))/2000, "bytes/record")
+}
+
+// BenchmarkWireDecode is the decode half of the wire-gap bench pair
+// (BenchmarkScanJSONL in internal/telemetry is the other): one op
+// decodes a 2000-record binary frame through a warm decoder.
+func BenchmarkWireDecode(b *testing.B) {
+	recs := genRecords(2000)
+	telemetry.CanonicalSort(recs)
+	stream := encodeFrames(b, recs)
+	dec := wire.NewDecoder()
+	rd := bytes.NewReader(stream)
+	b.SetBytes(int64(len(stream)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(stream)
+		out, err := dec.DecodeAll(rd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != len(recs) {
+			b.Fatalf("decoded %d records, want %d", len(out), len(recs))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(recs)*b.N)/b.Elapsed().Seconds(), "records/s")
+}

@@ -29,6 +29,12 @@ stage lint      make lint
 stage lint-report sh -c '"${GO:-go}" run ./cmd/vmplint -json ./... > lint_report.json; test -s lint_report.json'
 stage race      make race
 stage smoke     make smoke
+# bench-wire-report materializes the wire-path benchmark numbers as a
+# CI artifact: codec encode/decode, JSONL scan, and the HTTP loopback
+# ingest variants that back BENCH_live_ingest.json. The stage fails
+# only if a benchmark errors; throughput regressions show up in the
+# artifact diff, not as a red build on a noisy shared runner.
+stage bench-wire-report sh -c 'make bench-wire > bench_wire_report.txt 2>&1 && test -s bench_wire_report.txt && cat bench_wire_report.txt'
 
 if [ -n "$failed" ]; then
 	echo "ci: failed stages:$failed"

@@ -3,11 +3,15 @@
 # online/offline equivalence contract on the wire: a vmpd that ingested
 # a vmpgen slice over HTTP must answer /v1/query/* byte-identically to
 # vmpstudy computing the same answers offline from the same JSONL file.
+#
+# The drive runs twice against two fresh daemons — once as plain JSONL,
+# once as gzip-compressed binary batch frames — and the two runs must
+# land the same ingest counter and byte-identical query answers: the
+# wire encoding is a transport detail, never a semantic one.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-ADDR="127.0.0.1:18474"
 DIR="$(mktemp -d)"
 VMPD_PID=""
 cleanup() {
@@ -26,42 +30,72 @@ echo "smoke: generating dataset slice"
 "$DIR/vmpgen" -stride 24 -o "$DIR/views.jsonl"
 RECORDS=$(wc -l < "$DIR/views.jsonl" | tr -d ' ')
 
-echo "smoke: booting vmpd on $ADDR"
-"$DIR/vmpd" -addr "$ADDR" -epoch 1h >"$DIR/vmpd.log" 2>&1 &
-VMPD_PID=$!
-i=0
-until curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; do
-	i=$((i + 1))
-	if [ "$i" -gt 100 ]; then
-		echo "smoke: vmpd never became healthy" >&2
-		cat "$DIR/vmpd.log" >&2
+# boot_vmpd ADDR: start a fresh daemon and wait for /healthz.
+boot_vmpd() {
+	addr="$1"
+	"$DIR/vmpd" -addr "$addr" -epoch 1h >"$DIR/vmpd-$addr.log" 2>&1 &
+	VMPD_PID=$!
+	i=0
+	until curl -sf "http://$addr/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "smoke: vmpd on $addr never became healthy" >&2
+			cat "$DIR/vmpd-$addr.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+
+# stop_vmpd: SIGTERM the current daemon and require a clean exit.
+stop_vmpd() {
+	kill -TERM "$VMPD_PID"
+	if ! wait "$VMPD_PID"; then
+		echo "smoke: vmpd exited nonzero" >&2
+		cat "$DIR"/vmpd-*.log >&2
 		exit 1
 	fi
-	sleep 0.1
-done
+	VMPD_PID=""
+}
 
-echo "smoke: streaming $RECORDS records over HTTP (with ingest-counter verification)"
-"$DIR/vmpgen" -stride 24 -post "http://$ADDR" -post-verify
+# drive_and_query ADDR TAG [vmpgen encode flags...]: stream the slice
+# into the daemon at ADDR, verify the ingest counter covers it, cut an
+# epoch, and save the query answers under TAG.
+drive_and_query() {
+	addr="$1"
+	tag="$2"
+	shift 2
+	echo "smoke: streaming $RECORDS records over HTTP ($tag, with ingest-counter verification)"
+	"$DIR/vmpgen" -stride 24 -post "http://$addr" -post-verify "$@"
 
-echo "smoke: cutting an epoch"
-SNAP=$(curl -sf -X POST "http://$ADDR/v1/snapshot")
-case "$SNAP" in
-*"\"records\":$RECORDS"*) ;;
-*)
-	echo "smoke: snapshot reports wrong record count: $SNAP (want $RECORDS)" >&2
-	exit 1
-	;;
-esac
+	echo "smoke: cutting an epoch ($tag)"
+	SNAP=$(curl -sf -X POST "http://$addr/v1/snapshot")
+	case "$SNAP" in
+	*"\"records\":$RECORDS"*) ;;
+	*)
+		echo "smoke: snapshot reports wrong record count: $SNAP (want $RECORDS)" >&2
+		exit 1
+		;;
+	esac
 
-echo "smoke: checking /v1/metrics ingest counter"
-METRICS=$(curl -sf "http://$ADDR/v1/metrics")
-case "$METRICS" in
-*"\"live_ingest_records_total\":$RECORDS"*) ;;
-*)
-	echo "smoke: metrics ingest counter does not match $RECORDS posted records: $METRICS" >&2
-	exit 1
-	;;
-esac
+	echo "smoke: checking /v1/metrics ingest counter ($tag)"
+	METRICS=$(curl -sf "http://$addr/v1/metrics")
+	case "$METRICS" in
+	*"\"live_ingest_records_total\":$RECORDS"*) ;;
+	*)
+		echo "smoke: metrics ingest counter does not match $RECORDS posted records: $METRICS" >&2
+		exit 1
+		;;
+	esac
+
+	curl -sf "http://$addr/v1/query/share?dim=protocol" >"$DIR/${tag}_share.json"
+	curl -sf "http://$addr/v1/query/top-publishers?n=10" >"$DIR/${tag}_top.json"
+}
+
+ADDR="127.0.0.1:18474"
+echo "smoke: booting vmpd on $ADDR (JSONL run)"
+boot_vmpd "$ADDR"
+drive_and_query "$ADDR" online
 
 echo "smoke: checking /v1/trace recorded the epoch cut"
 TRACE=$(curl -sf "http://$ADDR/v1/trace")
@@ -80,9 +114,28 @@ case "$TRACE" in
 	;;
 esac
 
+echo "smoke: draining vmpd with SIGTERM"
+stop_vmpd
+
+ADDR2="127.0.0.1:18475"
+echo "smoke: booting vmpd on $ADDR2 (binary+gzip run)"
+boot_vmpd "$ADDR2"
+drive_and_query "$ADDR2" binary -encode binary -compress
+
+echo "smoke: checking binary+gzip ingest answers match the JSONL run"
+cmp "$DIR/online_share.json" "$DIR/binary_share.json" || {
+	echo "smoke: binary-ingest share answer differs from JSONL ingest" >&2
+	exit 1
+}
+cmp "$DIR/online_top.json" "$DIR/binary_top.json" || {
+	echo "smoke: binary-ingest top-publishers answer differs from JSONL ingest" >&2
+	exit 1
+}
+
+echo "smoke: draining vmpd with SIGTERM"
+stop_vmpd
+
 echo "smoke: comparing online answers against offline vmpstudy"
-curl -sf "http://$ADDR/v1/query/share?dim=protocol" >"$DIR/online_share.json"
-curl -sf "http://$ADDR/v1/query/top-publishers?n=10" >"$DIR/online_top.json"
 "$DIR/vmpstudy" -input "$DIR/views.jsonl" -share protocol >"$DIR/offline_share.json"
 "$DIR/vmpstudy" -input "$DIR/views.jsonl" -top 10 >"$DIR/offline_top.json"
 cmp "$DIR/online_share.json" "$DIR/offline_share.json" || {
@@ -94,13 +147,4 @@ cmp "$DIR/online_top.json" "$DIR/offline_top.json" || {
 	exit 1
 }
 
-echo "smoke: draining vmpd with SIGTERM"
-kill -TERM "$VMPD_PID"
-if ! wait "$VMPD_PID"; then
-	echo "smoke: vmpd exited nonzero" >&2
-	cat "$DIR/vmpd.log" >&2
-	exit 1
-fi
-VMPD_PID=""
-
-echo "smoke: live serving plane OK ($RECORDS records, byte-identical answers)"
+echo "smoke: live serving plane OK ($RECORDS records, byte-identical answers over JSONL, binary+gzip, and offline)"
