@@ -24,15 +24,17 @@ vet:
 
 # lint runs the in-repo analyzer suite (cmd/vmplint): nondeterminism,
 # maporder, frozenwrite, lockdiscipline, errcheck, atomicdiscipline,
-# goroutinelifecycle, chandiscipline, ctxflow. It must stay clean —
-# these are the machine-checked contracts behind byte-identical figures
-# and the race-free serving plane. The second invocation folds test
-# files in for the determinism analyzers: test expectations must not
-# depend on the wall clock or map iteration order either.
+# goroutinelifecycle, chandiscipline, ctxflow, bufalias, hotalloc,
+# httpdiscipline. It must stay clean — these are the machine-checked
+# contracts behind byte-identical figures, the race-free serving plane,
+# and the zero-copy wire path. The second invocation folds test files
+# in for the determinism and dataflow analyzers: test expectations must
+# not depend on the wall clock or map iteration order, and test helpers
+# must keep the same buffer-reuse and handler contracts.
 .PHONY: lint
 lint:
 	$(GO) run ./cmd/vmplint ./...
-	$(GO) run ./cmd/vmplint -tests -only nondeterminism,maporder ./...
+	$(GO) run ./cmd/vmplint -tests -only nondeterminism,maporder,bufalias,hotalloc,httpdiscipline ./...
 
 .PHONY: race
 race:
@@ -66,9 +68,9 @@ bench-wire:
 	$(GO) test -run xxx -bench BenchmarkScanJSONL -benchmem ./internal/telemetry/
 	$(GO) test -run xxx -bench BenchmarkHTTPIngest -benchmem ./internal/live/
 
-# bench-lint times a full nine-analyzer run over the module tree and
-# records it in BENCH_lint.json, so analyzer additions that regress
-# lint latency show up in review.
+# bench-lint times a full twelve-analyzer run over the module tree
+# (serial load, parallel analysis) and records it in BENCH_lint.json,
+# so analyzer additions that regress lint latency show up in review.
 .PHONY: bench-lint
 bench-lint:
 	$(GO) test -run xxx -bench BenchmarkLintTree -benchtime 3x ./internal/lint/

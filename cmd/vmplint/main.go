@@ -1,17 +1,24 @@
 // Command vmplint runs the project's invariant analyzers (package
 // internal/lint) over one or more packages: nondeterminism, maporder,
 // frozenwrite, lockdiscipline, errcheck, atomicdiscipline,
-// goroutinelifecycle, chandiscipline, and ctxflow — the
-// machine-checked contracts behind byte-identical figure rendering
-// and the race-free serving plane.
+// goroutinelifecycle, chandiscipline, ctxflow, bufalias, hotalloc, and
+// httpdiscipline — the machine-checked contracts behind byte-identical
+// figure rendering, the race-free serving plane, and the zero-copy
+// wire path.
 //
 // Usage:
 //
 //	vmplint ./...                 # whole module
 //	vmplint ./internal/analytics  # one package
 //	vmplint -json ./...           # machine-readable findings
+//	vmplint -sarif ./...          # SARIF 2.1.0 for code-scanning UIs
 //	vmplint -maporder=false ./... # disable one analyzer
 //	vmplint -only nondeterminism,maporder -tests ./...
+//
+// Packages load serially (the loader shares a type-checker cache) and
+// are then analyzed in parallel across GOMAXPROCS workers; findings
+// come out path-sorted, so the output is deterministic regardless of
+// scheduling.
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
 // on usage or load errors. Findings are suppressed one line at a time
@@ -38,6 +45,7 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	withTests := flag.Bool("tests", false, "lint _test.go files too (in-package and external test packages)")
 	only := flag.String("only", "", "comma-separated list of analyzers to run, e.g. nondeterminism,maporder (overrides per-analyzer flags)")
 	enabled := make(map[string]*bool)
@@ -45,6 +53,10 @@ func run() int {
 		enabled[a.Name] = flag.Bool(a.Name, true, "enable the "+a.Name+" analyzer ("+a.Doc+")")
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "vmplint: choose one of -json or -sarif")
+		return 2
+	}
 
 	var analyzers []*lint.Analyzer
 	if *only != "" {
@@ -89,11 +101,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "vmplint:", err)
 		return 2
 	}
-	var diags []lint.Diagnostic
+	// Load everything first — the loader is single-threaded — then fan
+	// the analysis out across GOMAXPROCS workers; RunPackages sorts the
+	// merged findings by path, so output order is deterministic.
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
-		var pkgs []*lint.Package
 		if *withTests {
-			pkgs, err = loader.LoadDirTests(dir)
+			var loaded []*lint.Package
+			loaded, err = loader.LoadDirTests(dir)
+			pkgs = append(pkgs, loaded...)
 		} else {
 			var pkg *lint.Package
 			pkg, err = loader.LoadDir(dir)
@@ -105,24 +121,30 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "vmplint:", err)
 			return 2
 		}
-		for _, pkg := range pkgs {
-			diags = append(diags, lint.RunPackage(pkg, analyzers)...)
-		}
 	}
+	diags := lint.RunPackages(pkgs, analyzers)
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].File = rel
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		out, err := lint.SARIF(diags, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vmplint:", err)
+			return 2
+		}
+		fmt.Println(string(out))
+	case *jsonOut:
 		out, err := lint.JSON(diags)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vmplint:", err)
 			return 2
 		}
 		fmt.Println(string(out))
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}

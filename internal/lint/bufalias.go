@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// BufAlias guards the reuse contract of scratch buffers: in packages
+// that reset and reuse slice-typed struct fields (the wire decoder's
+// frame/record scratch, the encoder's payload buffer, sensor batches),
+// a subslice of the reused buffer is only valid until the next reset.
+// Letting one escape into long-lived state — a struct field, a
+// package-level variable, a map — is the silent-corruption bug the
+// zero-copy wire path makes possible: the next decode rewrites the
+// bytes under an alias someone kept.
+//
+// Scratch fields are declared with //vmp:scratch or inferred from the
+// reset idiom (d.buf = d.buf[:0]). Reads of a scratch field taint, and
+// the shared fixed-point engine (see taintEngine) carries that taint
+// through helpers that return scratch views. Two shapes are reported:
+//
+//   - a scratch-derived value assigned into a non-scratch struct field
+//     or package-level variable. Copying (append into a fresh backing
+//     array, string conversion) launders the taint; a three-index
+//     subslice (s[i:j:j]) is treated as a deliberate capacity-capped
+//     handoff and is exempt.
+//   - append through an uncapped mid-buffer subslice of scratch
+//     (append(d.buf[2:4], ...)): with spare capacity the append writes
+//     into the shared backing array past the window. Appending from
+//     the start (d.buf[:0], d.buf[:n]) is the reset-reuse idiom and
+//     stays legal; so does any three-index subslice.
+//
+// The analysis is package-local by design: cross-package callers of
+// e.g. wire.DecodeAll are governed by the documented ownership rule
+// ("records are valid until the next DecodeAll"), which this analyzer
+// enforces where the scratch actually lives.
+var BufAlias = &Analyzer{
+	Name: "bufalias",
+	Doc:  "forbid subslices of reset-and-reused scratch buffers escaping into long-lived state",
+	Run:  runBufAlias,
+}
+
+func runBufAlias(p *Pass) {
+	if !strings.HasPrefix(p.Path, "vmp/internal/") && !strings.HasPrefix(p.Path, "vmp/cmd/") {
+		return
+	}
+	g := p.graph()
+	if len(g.scratch) == 0 {
+		return
+	}
+	source := func(e ast.Expr) bool {
+		f := selectedField(e, p.Info)
+		return f != nil && g.scratch[f]
+	}
+	eng := p.newExprTaintEngine(source, false)
+	for _, n := range g.nodes {
+		if n.decl.Body == nil {
+			continue
+		}
+		p.checkBufAliasBody(n.decl.Body, g, eng)
+	}
+}
+
+func (p *Pass) checkBufAliasBody(body *ast.BlockStmt, g *callGraph, eng *taintEngine) {
+	tainted := eng.localTaint(body)
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				target := p.escapeTarget(lhs)
+				if target == nil || g.scratch[target] {
+					continue
+				}
+				rhs := unparen(v.Rhs[i])
+				if !eng.taintedExpr(rhs, tainted) {
+					continue
+				}
+				if sl, ok := rhs.(*ast.SliceExpr); ok && sl.Slice3 {
+					continue // capacity-capped handoff
+				}
+				p.Reportf(rhs.Pos(),
+					"subslice of reused scratch buffer escapes into long-lived state through %s; copy it (append(nil, s...)) or hand off a three-index subslice",
+					target.Name())
+			}
+		case *ast.CallExpr:
+			id, ok := v.Fun.(*ast.Ident)
+			if !ok || len(v.Args) == 0 {
+				return true
+			}
+			if b, ok := p.objectOf(id).(*types.Builtin); !ok || b.Name() != "append" {
+				return true
+			}
+			sl, ok := unparen(v.Args[0]).(*ast.SliceExpr)
+			if !ok || sl.Slice3 || !nonZeroLow(p, sl.Low) {
+				return true
+			}
+			if eng.taintedExpr(sl.X, tainted) {
+				p.Reportf(v.Pos(),
+					"append through an uncapped mid-buffer subslice of reused scratch can clobber the shared backing array; use a three-index subslice or append from the start")
+			}
+		}
+		return true
+	})
+}
+
+// escapeTarget resolves an assignment LHS to the long-lived location
+// it writes, if any: a struct field (possibly through indexing or
+// dereference, as in out[i].CDNs) or a package-level variable. Locals
+// are not escape targets — the taint engine tracks those.
+func (p *Pass) escapeTarget(e ast.Expr) types.Object {
+	e = unparen(e)
+	for {
+		switch v := e.(type) {
+		case *ast.IndexExpr:
+			e = unparen(v.X)
+			continue
+		case *ast.StarExpr:
+			e = unparen(v.X)
+			continue
+		}
+		break
+	}
+	if f := selectedField(e, p.Info); f != nil {
+		return f
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if v, ok := p.objectOf(id).(*types.Var); ok && !v.IsField() &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	}
+	return nil
+}
+
+// nonZeroLow reports whether a slice low bound is present and not the
+// constant zero (d.buf[:n] and d.buf[0:] are the reset-reuse idiom).
+func nonZeroLow(p *Pass, low ast.Expr) bool {
+	if low == nil {
+		return false
+	}
+	if tv, ok := p.Info.Types[low]; ok && tv.Value != nil {
+		if val, exact := constant.Int64Val(tv.Value); exact && val == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -21,9 +21,10 @@ import (
 // tainted expression. Rebinding a tainted variable itself (recs = nil)
 // is not a write-through and stays legal.
 //
-// The taint is one-level interprocedural (see taintEngine): a
-// package-local helper that returns a Dataset view taints its callers'
-// results, so wrapping an accessor does not launder the alias.
+// The taint is interprocedural to a fixed point over the package call
+// graph (see taintEngine): a package-local helper that returns a
+// Dataset view taints its callers' results through chains of any
+// depth, so no amount of accessor-wrapping launders the alias.
 var FrozenWrite = &Analyzer{
 	Name: "frozenwrite",
 	Doc:  "forbid writes through telemetry.Dataset views outside internal/telemetry",

@@ -1,10 +1,11 @@
 // Package lint is a self-contained static-analysis driver (in the
 // spirit of golang.org/x/tools/go/analysis, but stdlib-only) that
 // machine-checks the invariants the study engine and the live serving
-// plane depend on. Nine analyzers enforce the contracts that keep
+// plane depend on. Twelve analyzers enforce the contracts that keep
 // every figure byte-identical across runs, across the serial and
 // parallel render paths, and across the offline and online query
-// paths:
+// paths — and that keep the zero-copy wire path and the zero-alloc
+// observability fast path from silently regressing:
 //
 //   - nondeterminism: wall-clock and process-seeded randomness stay
 //     out of library code; time flows through simclock, randomness
@@ -13,8 +14,9 @@
 //     map iteration order.
 //   - frozenwrite: telemetry.Dataset is immutable outside its own
 //     package — the contract the race-free parallel figure pool
-//     relies on. One-level interprocedural: helpers returning views
-//     taint their callers.
+//     relies on. Interprocedural to a fixed point over the package
+//     call graph: helper chains returning views taint their callers
+//     at any depth.
 //   - lockdiscipline: mutex-holding types neither re-enter their own
 //     locks nor leak internal slices from under them.
 //   - errcheck: internal/ and cmd/ code does not silently drop error
@@ -28,6 +30,20 @@
 //     are closed only by their owner, and queue channels are bounded.
 //   - ctxflow: caller contexts (r.Context(), ctx parameters) are
 //     threaded into blocking work; bare time.Sleep is forbidden.
+//   - bufalias: in packages that reset and reuse slice-field scratch
+//     buffers (//vmp:scratch, or the d.buf = d.buf[:0] reset idiom),
+//     subslices of a reused buffer must not escape into long-lived
+//     state without a copy or a capacity-capped three-index subslice,
+//     and append must not run through an uncapped mid-buffer subslice.
+//   - hotalloc: functions annotated //vmp:hotpath may not contain
+//     allocating constructs — make, new, slice/map/pointer composite
+//     literals, capturing closures, string concatenation or
+//     string<->[]byte conversions, fmt calls — unless the line carries
+//     //vmp:alloc <reason>; calls into same-package helpers that
+//     allocate are traced through the call graph.
+//   - httpdiscipline: every HTTP handler path writes its status at
+//     most once, mutates headers only before the first body write,
+//     and returns sync.Pool objects on every path after Get.
 //
 // Findings can be suppressed, one line at a time, with a directive
 // comment carrying an explicit reason:
@@ -46,8 +62,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Analyzer is one named invariant check.
@@ -67,6 +86,12 @@ type Pass struct {
 	Info     *types.Info
 
 	report func(Diagnostic)
+
+	// cg is the package call graph plus //vmp annotations, built once
+	// per package by RunPackage and shared by every analyzer (see
+	// dataflow.go). Accessed through Pass.graph, which fills it lazily
+	// for passes constructed by hand.
+	cg *callGraph
 }
 
 // Reportf records a finding at pos.
@@ -114,6 +139,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Nondeterminism, MapOrder, FrozenWrite, LockDiscipline, ErrCheck,
 		AtomicDiscipline, GoroutineLifecycle, ChanDiscipline, CtxFlow,
+		BufAlias, HotAlloc, HTTPDiscipline,
 	}
 }
 
@@ -121,6 +147,7 @@ func Analyzers() []*Analyzer {
 // the surviving diagnostics: sorted, deduplicated, and filtered
 // through //lint:ignore directives.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	graph := buildCallGraph(pkg.Fset, pkg.Files, pkg.Info)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -131,6 +158,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
 			report:   func(d Diagnostic) { diags = append(diags, d) },
+			cg:       graph,
 		}
 		a.Run(pass)
 	}
@@ -139,6 +167,14 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	// Malformed directives are findings in their own right — a missing
 	// reason breaks the suite's audit trail — and cannot be suppressed.
 	diags = append(diags, malformed...)
+	diags = append(diags, graph.malformed...)
+	return sortDedup(diags)
+}
+
+// sortDedup orders diagnostics by (file, line, col, analyzer, message)
+// and drops exact duplicates — the stable output contract of both
+// RunPackage and the parallel RunPackages.
+func sortDedup(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -162,6 +198,44 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	return out
+}
+
+// RunPackages runs the analyzers over every loaded package, fanning the
+// packages out across GOMAXPROCS workers, and returns the merged
+// findings sorted by path. Loading must happen before the call — the
+// Loader is not safe for concurrent use — but loaded packages are
+// read-only during analysis (token.FileSet position lookups are
+// internally locked), so analyzing them in parallel is safe. The output
+// is deterministic regardless of scheduling: each package's findings
+// are computed independently (the fixed-point engines are monotone and
+// order-independent) and the merge is globally sorted.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	results := make([][]Diagnostic, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(results) {
+					return
+				}
+				results[i] = RunPackage(pkgs[i], analyzers)
+			}
+		}()
+	}
+	wg.Wait()
+	var merged []Diagnostic
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	return sortDedup(merged)
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

@@ -7,11 +7,13 @@ import (
 	"testing"
 )
 
-// BenchmarkLintTree times one cold nine-analyzer run over the whole
+// BenchmarkLintTree times one cold twelve-analyzer run over the whole
 // module: loader construction, parsing, type-checking, and every
 // analyzer over every package — the same work `make lint`'s first
-// invocation does. `make bench-lint` runs it; the result is recorded
-// in BENCH_lint.json so analyzer additions that regress lint latency
+// invocation does, including vmplint's serial-load-then-parallel-
+// analyze split (RunPackages fans packages out across GOMAXPROCS
+// workers). `make bench-lint` runs it; the result is recorded in
+// BENCH_lint.json so analyzer additions that regress lint latency
 // show up in review.
 func BenchmarkLintTree(b *testing.B) {
 	dirs := moduleDirs(b)
@@ -22,22 +24,21 @@ func BenchmarkLintTree(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		loaded := 0
+		var pkgs []*Package
 		for _, dir := range dirs {
 			pkg, err := loader.LoadDir(dir)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if pkg == nil {
-				continue
-			}
-			loaded++
-			if diags := RunPackage(pkg, Analyzers()); len(diags) != 0 {
-				b.Fatalf("tree is not lint-clean: %s", diags[0])
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
 			}
 		}
-		if loaded == 0 {
+		if len(pkgs) == 0 {
 			b.Fatal("no packages loaded")
+		}
+		if diags := RunPackages(pkgs, Analyzers()); len(diags) != 0 {
+			b.Fatalf("tree is not lint-clean: %s", diags[0])
 		}
 	}
 }

@@ -139,6 +139,26 @@ func TestCtxFlowFixture(t *testing.T) { checkFixture(t, "ctxflow", "vmp/internal
 
 func TestIgnoreDirectives(t *testing.T) { checkFixture(t, "ignore", "vmp/internal/ignorefix") }
 
+func TestBufAliasFixture(t *testing.T) { checkFixture(t, "bufalias", "vmp/internal/bufaliasfix") }
+
+func TestHotAllocFixture(t *testing.T) { checkFixture(t, "hotalloc", "vmp/internal/hotallocfix") }
+
+func TestHTTPDisciplineFixture(t *testing.T) {
+	checkFixture(t, "httpdiscipline", "vmp/internal/httpfix")
+}
+
+// TestV3AnalyzersScopedToModule reloads each v3 fixture under an
+// external import path; like the rest of the suite, the dataflow
+// analyzers police only vmp/internal and vmp/cmd.
+func TestV3AnalyzersScopedToModule(t *testing.T) {
+	for _, dir := range []string{"bufalias", "hotalloc", "httpdiscipline"} {
+		diags := RunPackage(loadFixture(t, dir, "example.com/outside"), Analyzers())
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding outside vmp/internal and vmp/cmd: %s", dir, d)
+		}
+	}
+}
+
 // TestSimclockExemption proves wall-clock reads are legal in the one
 // package that owns the clock.
 func TestSimclockExemption(t *testing.T) {
@@ -276,6 +296,154 @@ func TestJSONShape(t *testing.T) {
 		if f.Analyzer == "" || f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Message == "" {
 			t.Errorf("finding %d is missing fields: %+v", i, f)
 		}
+	}
+}
+
+// TestRunPackagesMatchesSerial pins the parallel runner's contract:
+// fanning packages out across workers yields exactly the findings the
+// serial path yields, in the same path-sorted order, every time.
+func TestRunPackagesMatchesSerial(t *testing.T) {
+	dirs := []struct{ dir, path string }{
+		{"nondet", "vmp/internal/nondetfix"},
+		{"bufalias", "vmp/internal/bufaliasfix"},
+		{"hotalloc", "vmp/internal/hotallocfix"},
+		{"httpdiscipline", "vmp/internal/httpfix"},
+	}
+	var pkgs []*Package
+	var serial []Diagnostic
+	for _, d := range dirs {
+		pkg := loadFixture(t, d.dir, d.path)
+		pkgs = append(pkgs, pkg)
+		serial = append(serial, RunPackage(pkg, Analyzers())...)
+	}
+	serial = sortDedup(serial)
+	if len(serial) == 0 {
+		t.Fatal("fixture packages produced no findings")
+	}
+	first := RunPackages(pkgs, Analyzers())
+	if len(first) != len(serial) {
+		t.Fatalf("RunPackages reported %d findings, serial %d", len(first), len(serial))
+	}
+	for i := range first {
+		if first[i] != serial[i] {
+			t.Errorf("finding %d differs: parallel %s, serial %s", i, first[i], serial[i])
+		}
+	}
+	for round := 0; round < 3; round++ {
+		again := RunPackages(pkgs, Analyzers())
+		if len(again) != len(first) {
+			t.Fatalf("round %d: %d findings, want %d", round, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Errorf("round %d: finding %d reordered: %s vs %s", round, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+// TestSARIFShape pins the -sarif document: a 2.1.0 log with one run,
+// the vmplint driver, one rule per analyzer (plus the synthetic
+// "ignore" rule), and one error-level result per finding with a
+// physical location.
+func TestSARIFShape(t *testing.T) {
+	diags := RunPackage(loadFixture(t, "nondet", "vmp/internal/nondetfix"), Analyzers())
+	if len(diags) == 0 {
+		t.Fatal("nondet fixture produced no findings")
+	}
+	out, err := SARIF(diags, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("unmarshaling SARIF report: %v", err)
+	}
+	if doc.Version != "2.1.0" || doc.Schema == "" || len(doc.Runs) != 1 {
+		t.Fatalf("log envelope = version %q, schema %q, %d runs", doc.Version, doc.Schema, len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "vmplint" {
+		t.Errorf("driver name = %q, want vmplint", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(Analyzers())+1 {
+		t.Errorf("%d rules, want %d analyzers + the ignore rule", len(run.Tool.Driver.Rules), len(Analyzers()))
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ID == "" || r.ShortDescription.Text == "" {
+			t.Errorf("rule %+v is missing fields", r)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("%d results, want %d", len(run.Results), len(diags))
+	}
+	for i, r := range run.Results {
+		if !ruleIDs[r.RuleID] {
+			t.Errorf("result %d names unknown rule %q", i, r.RuleID)
+		}
+		if r.Level != "error" || r.Message.Text == "" || len(r.Locations) != 1 {
+			t.Errorf("result %d is malformed: %+v", i, r)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine <= 0 || loc.Region.StartColumn <= 0 {
+			t.Errorf("result %d location is malformed: %+v", i, loc)
+		}
+	}
+}
+
+// TestSARIFEmpty pins the clean-run SARIF document: still a valid log
+// with the full rule table and an empty (non-null) results array.
+func TestSARIFEmpty(t *testing.T) {
+	out, err := SARIF(nil, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Results == nil || len(doc.Runs[0].Results) != 0 {
+		t.Fatalf("empty report rendered as %s", out)
 	}
 }
 

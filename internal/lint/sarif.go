@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+)
+
+// SARIF rendering: the -sarif output is a minimal, valid SARIF 2.1.0
+// document (the interchange format code-scanning UIs ingest), carrying
+// the same findings as the -json report. One run, one tool, one rule
+// per analyzer; every finding becomes a "result" at error level with a
+// single physical location.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+// SARIF renders diagnostics as a SARIF 2.1.0 document. The analyzers
+// parameter supplies the rule metadata; a synthetic "ignore" rule is
+// always present because malformed //lint:ignore directives report
+// under that name without being an analyzer.
+func SARIF(diags []Diagnostic, analyzers []*Analyzer) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "ignore",
+		ShortDescription: sarifMessage{Text: "malformed //lint:ignore suppression directive"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.File)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "vmplint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

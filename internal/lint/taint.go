@@ -6,30 +6,36 @@ import (
 	"go/types"
 )
 
-// taintEngine is the shared alias-taint machinery behind frozenwrite
-// and atomicdiscipline: starting from analyzer-specific source calls
-// (Dataset accessors, atomic.Pointer loads), it propagates taint
-// through local assignments and range statements to a fixpoint, then
-// reports writes through tainted memory.
+// taintEngine is the shared alias-taint machinery behind frozenwrite,
+// atomicdiscipline, and bufalias: starting from analyzer-specific
+// sources (Dataset accessors, atomic.Pointer loads, scratch-field
+// reads), it propagates taint through local assignments and range
+// statements to a fixpoint, then reports writes through tainted
+// memory.
 //
-// The engine is one-level interprocedural: before any body is checked,
-// every function declaration in the package is summarized by running
-// the purely intra-function taint over its body and asking whether any
-// return expression reaches tainted memory. A call to a summarized
-// function then taints the caller's result — so a helper like
+// The engine is interprocedural to a fixed point over the package call
+// graph (see dataflow.go): every function declaration is summarized by
+// asking whether any return expression reaches tainted memory, and —
+// because summaries feed back into the taint of call expressions — a
+// helper chain like
 //
 //	func (e *Engine) Generation() *Generation { return e.gen.Load() }
+//	func (e *Engine) gen() *Generation        { return e.Generation() }
 //
-// carries its taint to every caller without whole-program analysis.
-// Summaries are deliberately not iterated to a fixpoint: one level is
-// what the serving plane's accessor helpers need, and deeper chains
-// stay out of false-positive territory.
+// carries its taint to every caller at any depth without whole-program
+// analysis. The summary lattice is two-valued and only grows, so the
+// worklist terminates, and the result is order-independent (a monotone
+// fixed point), which keeps finding output deterministic.
 type taintEngine struct {
 	p *Pass
 
 	// source reports whether a call originates tainted memory
 	// (analyzer-specific: frozen accessors, atomic pointer loads).
 	source func(*ast.CallExpr) bool
+
+	// exprSource optionally taints non-call expressions at origin —
+	// bufalias marks selector reads of scratch fields this way.
+	exprSource func(ast.Expr) bool
 
 	// propagateRecv additionally taints the result of any method call
 	// whose receiver is tainted (v.Dataset.All() when v is tainted).
@@ -39,57 +45,101 @@ type taintEngine struct {
 	summaries map[types.Object]bool
 }
 
-// newTaintEngine builds an engine and computes the one-level
-// interprocedural summaries for the package under analysis.
+// newTaintEngine builds an engine with a call-shaped source and
+// computes the fixed-point interprocedural summaries for the package
+// under analysis.
 func (p *Pass) newTaintEngine(source func(*ast.CallExpr) bool, propagateRecv bool) *taintEngine {
 	t := &taintEngine{p: p, source: source, propagateRecv: propagateRecv}
 	t.computeSummaries()
 	return t
 }
 
-// computeSummaries fills t.summaries: a function is summarized tainted
-// when some return expression of its body reaches tainted memory under
-// the intra-function taint alone. Returns inside function literals
-// belong to the literal, not the declaration, and are skipped.
+// newExprTaintEngine builds an engine whose source is an arbitrary
+// expression predicate (bufalias: reads of scratch fields).
+func (p *Pass) newExprTaintEngine(exprSource func(ast.Expr) bool, propagateRecv bool) *taintEngine {
+	t := &taintEngine{p: p, exprSource: exprSource, propagateRecv: propagateRecv}
+	t.computeSummaries()
+	return t
+}
+
+// computeSummaries fills t.summaries by iterating to a fixed point
+// over the package call graph: a function is summarized tainted when
+// some return expression of its body reaches tainted memory given the
+// summaries computed so far; each newly tainted summary re-enqueues
+// the function's callers, so taint flows through helper chains of any
+// depth. Functions whose results carry no reference type cannot alias
+// anything and are skipped. Returns inside function literals belong to
+// the literal, not the declaration, and are skipped.
 func (t *taintEngine) computeSummaries() {
-	// Collect into a fresh map while t.summaries stays empty: summaries
-	// must be strictly source-derived (one level), not dependent on the
-	// order declarations happen to be visited.
 	t.summaries = make(map[types.Object]bool)
-	sums := make(map[types.Object]bool)
-	for _, f := range t.p.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
-				continue
-			}
-			obj := t.p.Info.Defs[fd.Name]
-			if obj == nil {
-				continue
-			}
-			tainted := t.localTaint(fd.Body)
-			returnsTainted := false
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				if _, ok := n.(*ast.FuncLit); ok {
-					return false
-				}
-				ret, ok := n.(*ast.ReturnStmt)
-				if !ok || returnsTainted {
-					return true
-				}
-				for _, res := range ret.Results {
-					if t.taintedExpr(res, tainted) {
-						returnsTainted = true
-					}
-				}
-				return true
-			})
-			if returnsTainted {
-				sums[obj] = true
+	g := t.p.graph()
+	queue := make([]*funcNode, 0, len(g.nodes))
+	queued := make(map[types.Object]bool, len(g.nodes))
+	for _, n := range g.nodes {
+		if summaryCandidate(n) {
+			queue = append(queue, n)
+			queued[n.obj] = true
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		queued[n.obj] = false
+		if t.summaries[n.obj] || !t.returnsTainted(n.decl) {
+			continue
+		}
+		t.summaries[n.obj] = true
+		for _, caller := range g.callers[n.obj] {
+			if !queued[caller.obj] && !t.summaries[caller.obj] && summaryCandidate(caller) {
+				queue = append(queue, caller)
+				queued[caller.obj] = true
 			}
 		}
 	}
-	t.summaries = sums
+}
+
+// summaryCandidate reports whether a function can possibly carry a
+// tainted summary: it has a body and at least one reference-typed
+// result.
+func summaryCandidate(n *funcNode) bool {
+	fd := n.decl
+	if fd.Body == nil || fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	sig, ok := n.obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if mutableRefType(results.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsTainted reports whether any return expression of fd's body
+// reaches tainted memory under the current summaries.
+func (t *taintEngine) returnsTainted(fd *ast.FuncDecl) bool {
+	tainted := t.localTaint(fd.Body)
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			if t.taintedExpr(res, tainted) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // localTaint propagates taint through one body's assignments and range
@@ -170,6 +220,9 @@ func (t *taintEngine) checkBody(body *ast.BlockStmt, reportf func(pos token.Pos)
 
 // taintedExpr reports whether e reaches tainted memory.
 func (t *taintEngine) taintedExpr(e ast.Expr, tainted map[types.Object]bool) bool {
+	if t.exprSource != nil && t.exprSource(e) {
+		return true
+	}
 	switch v := e.(type) {
 	case *ast.Ident:
 		obj := t.p.objectOf(v)
@@ -194,10 +247,18 @@ func (t *taintEngine) taintedExpr(e ast.Expr, tainted map[types.Object]bool) boo
 
 // taintedCall reports whether a call originates or forwards taint: a
 // direct source, a call to a function summarized as returning tainted
-// memory, or (with propagateRecv) a method call on a tainted receiver.
+// memory, an append whose destination is tainted (append may return
+// the same backing array), or (with propagateRecv) a method call on a
+// tainted receiver. append(untainted, tainted...) copies the contents
+// into the destination's backing array and stays clean.
 func (t *taintEngine) taintedCall(call *ast.CallExpr, tainted map[types.Object]bool) bool {
-	if t.source(call) {
+	if t.source != nil && t.source(call) {
 		return true
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) > 0 {
+		if b, ok := t.p.objectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+			return t.taintedExpr(call.Args[0], tainted)
+		}
 	}
 	if obj := t.p.calleeObject(call); obj != nil && t.summaries[obj] {
 		return true

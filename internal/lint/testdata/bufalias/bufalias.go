@@ -1,0 +1,108 @@
+// Package bufaliasfix exercises the bufalias analyzer: subslices of
+// reset-and-reused scratch buffers (declared //vmp:scratch, or inferred
+// from the d.buf = d.buf[:0] reset idiom) must not escape into
+// long-lived state without a copy or a capacity-capped three-index
+// subslice, and append must not run through an uncapped mid-buffer
+// subslice of the shared backing array.
+package bufaliasfix
+
+// decoder models the wire decoder's reuse contract: frame is scratch,
+// rewritten by every decode; held and name are long-lived retention.
+type decoder struct {
+	frame []byte //vmp:scratch reused across Decode calls
+	held  []byte
+	name  string
+}
+
+// retained is long-lived package state.
+var retained []byte
+
+func (d *decoder) escapeIntoField(n int) {
+	d.held = d.frame[4:n] // want bufalias "subslice of reused scratch buffer escapes into long-lived state through held"
+}
+
+func (d *decoder) escapeIntoPackageVar(n int) {
+	retained = d.frame[:n] // want bufalias "escapes into long-lived state through retained"
+}
+
+func (d *decoder) escapeThroughLocal() {
+	v := d.frame[4:8]
+	d.held = v // want bufalias "escapes into long-lived state through held"
+}
+
+// view and viewOfView are the fixed-point chain: the scratch taint
+// flows through two levels of helper summaries before it escapes.
+func (d *decoder) view() []byte { return d.frame[8:16] }
+
+func (d *decoder) viewOfView() []byte { return d.view() }
+
+func (d *decoder) escapeThroughChain() {
+	d.held = d.viewOfView() // want bufalias "escapes into long-lived state through held"
+}
+
+// appendClobber appends through an uncapped mid-buffer subslice: with
+// spare capacity the append rewrites scratch bytes past the window.
+func (d *decoder) appendClobber(n int) {
+	_ = append(d.frame[2:n], 0xFF) // want bufalias "append through an uncapped mid-buffer subslice of reused scratch"
+}
+
+// threeIndexHandoff is the deliberate capacity-capped handoff: an
+// append through it cannot touch bytes past the window, so it is exempt.
+func (d *decoder) threeIndexHandoff(n int) {
+	d.held = d.frame[4:n:n]
+}
+
+// copyLaunders: appending into a fresh backing array copies the bytes
+// out of the scratch buffer.
+func (d *decoder) copyLaunders(n int) {
+	d.held = append([]byte(nil), d.frame[4:n]...)
+}
+
+// stringLaunders: a string conversion copies too.
+func (d *decoder) stringLaunders(n int) {
+	d.name = string(d.frame[:n])
+}
+
+// reset is the reuse idiom itself: the target is the scratch field, not
+// long-lived state.
+func (d *decoder) reset() {
+	d.frame = d.frame[:0]
+}
+
+// growFromStart is the amortized-reuse idiom: append from the start of
+// the scratch buffer is how the buffer grows.
+func (d *decoder) growFromStart(b []byte) {
+	d.frame = append(d.frame[:0], b...)
+}
+
+// localUseIsLegal: locals are not long-lived state; the taint engine
+// tracks them, but only stores into fields or package variables report.
+func (d *decoder) localUseIsLegal(n int) int {
+	total := 0
+	for _, b := range d.frame[:n] {
+		total += int(b)
+	}
+	return total
+}
+
+// View is legal: returning a scratch view to a caller is governed by
+// the documented ownership rule (valid until the next decode); only
+// stores into long-lived state are flagged.
+func (d *decoder) View(n int) []byte {
+	return d.frame[:n]
+}
+
+// sensor carries no annotation: batch is inferred scratch from the
+// reset idiom in flush.
+type sensor struct {
+	batch []int
+	last  []int
+}
+
+func (s *sensor) flush() {
+	s.batch = s.batch[:0]
+}
+
+func (s *sensor) escapeInferred(n int) {
+	s.last = s.batch[:n] // want bufalias "escapes into long-lived state through last"
+}

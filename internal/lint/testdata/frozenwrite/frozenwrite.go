@@ -68,3 +68,15 @@ func helperValueCopyIsLegal(d *telemetry.Dataset) telemetry.ViewRecord {
 	rec.Live = true // the element copy is the caller's to mutate
 	return rec
 }
+
+// viewDepth1/viewDepth2 are the fixed-point chain the v3 engine added:
+// the view flows through two helper levels before the write, which the
+// old one-level summaries could not see.
+func viewDepth1(d *telemetry.Dataset) []telemetry.ViewRecord { return viewHelper(d) }
+
+func viewDepth2(d *telemetry.Dataset) []telemetry.ViewRecord { return viewDepth1(d) }
+
+func writeThroughDeepChain(d *telemetry.Dataset) {
+	recs := viewDepth2(d)
+	recs[0].Live = true // want frozenwrite "write through a telemetry.Dataset view"
+}

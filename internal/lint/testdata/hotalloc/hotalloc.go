@@ -1,0 +1,105 @@
+// Package hotallocfix exercises the hotalloc analyzer: functions
+// annotated //vmp:hotpath may not contain allocating constructs unless
+// the line (or the line above) carries //vmp:alloc <reason>, and calls
+// into same-package helpers that transitively allocate are flagged at
+// the call site.
+package hotallocfix
+
+import (
+	"fmt"
+	"sync"
+)
+
+// index models a lookup structure the hot path reads.
+type index struct {
+	m map[string]int
+}
+
+// hotDirect holds one of every flagged construct.
+//
+//vmp:hotpath
+func hotDirect(n int) int {
+	b := make([]byte, n)         // want hotalloc "make allocates on a //vmp:hotpath path"
+	p := new(int)                // want hotalloc "new allocates on a //vmp:hotpath path"
+	s := []int{1, 2}             // want hotalloc "slice literal allocates on a //vmp:hotpath path"
+	m := map[string]int{}        // want hotalloc "map literal allocates on a //vmp:hotpath path"
+	t := &index{}                // want hotalloc "heap-allocated composite literal allocates on a //vmp:hotpath path"
+	f := func() int { return n } // want hotalloc "capturing closure allocates on a //vmp:hotpath path"
+	return len(b) + *p + s[0] + len(m) + len(t.m) + f()
+}
+
+//vmp:hotpath
+func hotStrings(name string, raw []byte) string {
+	s := string(raw)          // want hotalloc "string conversion allocates on a //vmp:hotpath path"
+	u := name + s             // want hotalloc "string concatenation allocates on a //vmp:hotpath path"
+	u = fmt.Sprintf("%s!", u) // want hotalloc "fmt.Sprintf allocates on a //vmp:hotpath path"
+	return u
+}
+
+// hotApproved: deliberate allocations carry //vmp:alloc with a reason,
+// trailing or on the line above.
+//
+//vmp:hotpath
+func hotApproved(n int) []byte {
+	b := make([]byte, n) //vmp:alloc fixture: amortized scratch grow
+	//vmp:alloc fixture: cold-start arena
+	a := make([]int, n)
+	return append(b, byte(len(a)))
+}
+
+// hotLegal: the approved patterns — append, constant concatenation,
+// m[string(b)] lookups, fmt.Errorf on the cold error path, and
+// non-capturing literals — need no approval.
+//
+//vmp:hotpath
+func hotLegal(ix *index, dst []byte, key []byte) ([]byte, error) {
+	dst = append(dst, key...)
+	const greeting = "a" + "b"
+	if ix == nil {
+		return nil, fmt.Errorf("hotallocfix: nil index on %s", greeting)
+	}
+	n := ix.m[string(key)]
+	double := func(v int) int { return v * 2 }
+	return append(dst, byte(double(n))), nil
+}
+
+// bufs recycles buffers; Get/Put is the approved alternative to
+// allocating (httpdiscipline checks the Put side).
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+//vmp:hotpath
+func hotPooled() int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b)
+}
+
+// leafAlloc is a plain helper that allocates; mid only forwards it, so
+// the fixed point marks both as may-allocate.
+func leafAlloc(n int) []byte { return make([]byte, n) }
+
+func mid(n int) []byte { return leafAlloc(n) }
+
+//vmp:hotpath
+func hotTransitive(n int) []byte {
+	return mid(n) // want hotalloc "call to mid, which allocates"
+}
+
+// hotCallsApproved: a call-site approval silences the transitive
+// finding without annotating the helper.
+//
+//vmp:hotpath
+func hotCallsApproved(n int) []byte {
+	return mid(n) //vmp:alloc fixture: cold-path refill
+}
+
+// hotHelper is itself //vmp:hotpath: its body is checked directly (and
+// is clean), so hot callers do not flag the call.
+//
+//vmp:hotpath
+func hotHelper(dst []byte, b byte) []byte { return append(dst, b) }
+
+//vmp:hotpath
+func hotChain(dst []byte) []byte {
+	return hotHelper(dst, 1)
+}

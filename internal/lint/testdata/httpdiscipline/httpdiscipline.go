@@ -1,0 +1,161 @@
+// Package httpfix exercises the httpdiscipline analyzer: every handler
+// path calls WriteHeader at most once, mutates headers and writes the
+// status before the first body write, and returns sync.Pool objects on
+// every path after Get.
+package httpfix
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// encodeThenError is the canonical pre-fix bug this analyzer was built
+// to catch (the shape fixed in live/server.go, the obs handlers, and
+// the collector): by the time Encode fails, the body bytes are on the
+// wire, so http.Error appends noise to an already-committed response.
+func encodeThenError(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, "encode error", http.StatusInternalServerError) // want httpdiscipline "http.Error after the response body was already written"
+	}
+}
+
+// marshalFirst is the fix: marshal to memory, then headers, then one
+// body write — no path has an ordering violation.
+func marshalFirst(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encode error", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(buf, '\n'))
+}
+
+func doubleWriteHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusAccepted)
+	w.WriteHeader(http.StatusNoContent) // want httpdiscipline "WriteHeader called more than once on this path"
+}
+
+func headerAfterBody(w http.ResponseWriter) {
+	_, _ = fmt.Fprintln(w, "hello")
+	w.Header().Set("Content-Type", "text/plain") // want httpdiscipline "header Set after the first body write has no effect"
+}
+
+func headerAfterStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+	w.Header().Set("Retry-After", "1") // want httpdiscipline "header Set after WriteHeader has no effect"
+}
+
+func statusAfterBody(w http.ResponseWriter) {
+	_, _ = w.Write([]byte("partial"))
+	w.WriteHeader(http.StatusInternalServerError) // want httpdiscipline "WriteHeader after the first body write"
+}
+
+func doubleError(w http.ResponseWriter) {
+	http.Error(w, "first", http.StatusBadRequest)
+	http.Error(w, "second", http.StatusInternalServerError) // want httpdiscipline "http.Error after the response body was already written"
+}
+
+// writeAfterError pins that findings inside branch bodies are real:
+// on the !ok path the Error has already written status and body.
+func writeAfterError(w http.ResponseWriter, ok bool) {
+	if !ok {
+		http.Error(w, "bad", http.StatusBadRequest)
+		w.WriteHeader(http.StatusBadRequest) // want httpdiscipline "WriteHeader called more than once on this path"
+	}
+}
+
+// earlyReturnGuard is the classic clean shape: the error branch writes
+// its own complete response and returns; because branch effects are
+// not merged, the straight-line path below stays clean.
+func earlyReturnGuard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("{}\n"))
+}
+
+// derivedWriter: enc is writer-derived (one level), so using it writes
+// the body; the header mutation after it is dead.
+func derivedWriter(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+	w.Header().Set("Content-Type", "application/json") // want httpdiscipline "header Set after the first body write"
+}
+
+// handlerLiteral: function literals with a ResponseWriter parameter are
+// handlers too.
+var handlerLiteral = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("ok\n"))
+	w.WriteHeader(http.StatusOK) // want httpdiscipline "WriteHeader after the first body write"
+})
+
+// readers recycles pooled readers across requests.
+var readers sync.Pool
+
+// leakNoPut never returns the pooled object at all.
+func leakNoPut() int {
+	r := readers.Get() // want httpdiscipline "pooled object from readers.Get is never returned to the pool in this function"
+	if r == nil {
+		return 0
+	}
+	return 1
+}
+
+// leakOnErrorPath covers the happy path with a plain Put but leaks on
+// the error return between Get and Put.
+func leakOnErrorPath(fail bool) error {
+	r := readers.Get()
+	if fail {
+		return errors.New("httpfix: boom") // want httpdiscipline "return leaks the pooled object obtained from readers.Get"
+	}
+	readers.Put(r)
+	return nil
+}
+
+// deferPut is the approved shape: a deferred Put covers every return.
+func deferPut(fail bool) error {
+	r := readers.Get()
+	defer readers.Put(r)
+	if fail {
+		return errors.New("httpfix: boom")
+	}
+	return nil
+}
+
+// putBeforeReturn is also legal when every return follows the Put.
+func putBeforeReturn() int {
+	r := readers.Get()
+	n := 0
+	if r != nil {
+		n = 1
+	}
+	readers.Put(r)
+	return n
+}
+
+// deferredClosurePut: a Put inside a defer-invoked literal counts as
+// deferred and covers later returns.
+func deferredClosurePut(fail bool) error {
+	r := readers.Get()
+	defer func() { readers.Put(r) }()
+	if fail {
+		return errors.New("httpfix: boom")
+	}
+	return nil
+}
+
+// innerLiteralReturn: returns inside a non-deferred literal belong to
+// the literal, not the enclosing function, and do not leak the Get.
+func innerLiteralReturn() func() int {
+	r := readers.Get()
+	defer readers.Put(r)
+	return func() int { return 2 }
+}

@@ -110,6 +110,8 @@ type shard struct {
 }
 
 // take swaps out the pending buffer.
+//
+//vmp:hotpath
 func (sh *shard) take() []telemetry.ViewRecord {
 	sh.mu.Lock()
 	p := sh.pending
@@ -198,6 +200,8 @@ func (e *Engine) Generation() *Generation { return e.gen.Load() }
 // shardOf hash-partitions a record by publisher and video (the session
 // key): FNV-1a, inlined so admission stays allocation-free, and
 // deterministic so a record set always shards the same way.
+//
+//vmp:hotpath
 func (e *Engine) shardOf(r *telemetry.ViewRecord) int {
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
@@ -310,6 +314,8 @@ func (e *Engine) runShard(sh *shard) {
 // appendCoalesced appends a queued batch plus anything else already
 // queued. The consume span links under the first batch's admission
 // span; further coalesced batches are counted in its attrs.
+//
+//vmp:hotpath
 func (e *Engine) appendCoalesced(sh *shard, m batchMsg) {
 	sp := e.tracer.Start("shard.consume", m.parent)
 	batch := m.recs
@@ -332,6 +338,8 @@ func (e *Engine) appendCoalesced(sh *shard, m batchMsg) {
 }
 
 // drainShard empties the queue into the pending buffer.
+//
+//vmp:hotpath
 func (e *Engine) drainShard(sh *shard) {
 	for {
 		select {

@@ -203,10 +203,28 @@ func WindowOver(ds *telemetry.Dataset, start time.Time, days int) *WindowRespons
 	}
 }
 
-// WriteJSON serializes a query response the one canonical way (a
-// json.Encoder line). vmpd's handlers and vmpstudy's offline answer
-// mode both funnel through here, which is what makes the smoke-stage
-// equality check a byte comparison.
+// MarshalResponse renders a query response as the one canonical byte
+// sequence: compact JSON with a trailing newline, exactly what a
+// json.Encoder emits. HTTP handlers marshal to memory first so an
+// encode failure can still become a clean 500 before any byte reaches
+// the client (httpdiscipline: status before body).
+func MarshalResponse(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteJSON serializes a query response the one canonical way. vmpd's
+// handlers and vmpstudy's offline answer mode both funnel through the
+// same bytes, which is what makes the smoke-stage equality check a
+// byte comparison.
 func WriteJSON(w io.Writer, v any) error {
-	return json.NewEncoder(w).Encode(v)
+	b, err := MarshalResponse(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
 }

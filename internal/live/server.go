@@ -195,10 +195,15 @@ func (s *Server) query(name string, build func(*http.Request) (any, error)) http
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := WriteJSON(w, resp); err != nil {
+		buf, err := MarshalResponse(resp)
+		if err != nil {
 			sp.End(obs.KV("ok", 0))
 			http.Error(w, "encode error", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(buf); err != nil {
+			sp.End(obs.KV("ok", 0))
 			return
 		}
 		hist.Observe(clock.Now().Sub(start).Seconds())

@@ -27,6 +27,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n.
+//
+//vmp:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current count.
@@ -38,9 +40,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//vmp:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add moves the gauge by n.
+//
+//vmp:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Load returns the current value.
@@ -72,6 +78,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//vmp:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
@@ -208,9 +216,12 @@ func (r *Registry) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(r.Snapshot()); err != nil {
+		buf, err := json.Marshal(r.Snapshot())
+		if err != nil {
 			http.Error(w, "encode error", http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(buf, '\n'))
 	})
 }

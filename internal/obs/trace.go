@@ -129,6 +129,8 @@ func (s Span) ID() SpanID { return SpanID(s.id) }
 // Start opens a span. parent links it under an enclosing span (0 for
 // a root). When the tracer is nil or disabled this is one atomic load
 // and returns the zero Span.
+//
+//vmp:hotpath
 func (t *Tracer) Start(name string, parent SpanID) Span {
 	if t == nil || !t.enabled.Load() {
 		return Span{}
@@ -144,11 +146,13 @@ func (t *Tracer) Start(name string, parent SpanID) Span {
 
 // End completes the span and publishes it into the ring. attrs are
 // copied, so the caller's variadic slice never escapes.
+//
+//vmp:hotpath
 func (s Span) End(attrs ...Attr) {
 	if s.tr == nil {
 		return
 	}
-	rec := &spanRecord{
+	rec := &spanRecord{ //vmp:alloc enabled path publishes one record into the ring; the disabled path returns above
 		id:     s.id,
 		parent: s.parent,
 		name:   s.name,
@@ -156,7 +160,7 @@ func (s Span) End(attrs ...Attr) {
 		dur:    s.tr.clock.Now().Sub(s.start),
 	}
 	if len(attrs) > 0 {
-		rec.attrs = make([]Attr, len(attrs))
+		rec.attrs = make([]Attr, len(attrs)) //vmp:alloc attrs are copied so the caller's variadic slice never escapes
 		copy(rec.attrs, attrs)
 	}
 	i := s.tr.spanIdx.Add(1) - 1
@@ -168,13 +172,15 @@ func (s Span) End(attrs ...Attr) {
 // tailing the log can detect dropped entries the way a WAL reader
 // detects a truncated prefix. Disabled tracers record nothing and
 // allocate nothing.
+//
+//vmp:hotpath
 func (t *Tracer) Emit(typ string, attrs ...Attr) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	rec := &eventRecord{seq: t.evSeq.Add(1), at: t.clock.Now(), typ: typ}
+	rec := &eventRecord{seq: t.evSeq.Add(1), at: t.clock.Now(), typ: typ} //vmp:alloc enabled path publishes one record into the ring; the disabled path returns above
 	if len(attrs) > 0 {
-		rec.attrs = make([]Attr, len(attrs))
+		rec.attrs = make([]Attr, len(attrs)) //vmp:alloc attrs are copied so the caller's variadic slice never escapes
 		copy(rec.attrs, attrs)
 	}
 	t.events[(rec.seq-1)%uint64(len(t.events))].Store(rec)
@@ -322,10 +328,13 @@ func (t *Tracer) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(t.Snapshot()); err != nil {
+		buf, err := json.Marshal(t.Snapshot())
+		if err != nil {
 			http.Error(w, "encode error", http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(buf, '\n'))
 	})
 }
 
@@ -345,11 +354,14 @@ func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
 		snap := DebugSnapshot{Metrics: reg.Snapshot(), Trace: tr.Snapshot()}
-		if err := json.NewEncoder(w).Encode(snap); err != nil {
+		buf, err := json.Marshal(snap)
+		if err != nil {
 			http.Error(w, "encode error", http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(buf, '\n'))
 	})
 }
 

@@ -238,10 +238,13 @@ func (c *Collector) handleSummary(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(c.Summarize()); err != nil {
+	buf, err := json.Marshal(c.Summarize())
+	if err != nil {
 		http.Error(w, "encode error", http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(append(buf, '\n'))
 }
 
 // Sensor is the client half: the monitoring library a publisher

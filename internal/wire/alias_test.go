@@ -1,0 +1,96 @@
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vmp/internal/telemetry/record"
+	"vmp/internal/wire"
+)
+
+// TestDecodeReuseKeepsAdmittedBatchStable pins the decoder's ownership
+// contract from the admitting side — the invariant the bufalias
+// analyzer guards statically. Live ingest admits a decoded batch by
+// shallow-copying the record structs (strings are immutable and the
+// CDN/bitrate views point into per-call arenas that are never reused),
+// then the decoder is fed a second, larger batch that rewrites and
+// grows every piece of reused scratch: the frame buffer, the record
+// slice, and the string-table scratch. If any admitted field secretly
+// aliased decoder scratch, the second decode would rewrite it.
+func TestDecodeReuseKeepsAdmittedBatchStable(t *testing.T) {
+	dec := wire.NewDecoder()
+	got, err := dec.DecodeAll(bytes.NewReader(encodeFrames(t, genRecords(64))))
+	if err != nil {
+		t.Fatalf("first DecodeAll: %v", err)
+	}
+	if len(got) != 64 {
+		t.Fatalf("first decode returned %d records, want 64", len(got))
+	}
+	// Admit the batch the way the ingest paths do: copy the structs out
+	// of the decoder-owned slice before the next DecodeAll call.
+	admitted := append([]record.ViewRecord(nil), got...)
+	want := deepCloneRecords(admitted)
+	stable := encodeFrames(t, admitted)
+
+	// Second batch: larger (forces the frame buffer and record slice to
+	// grow, not just rewrite) and with disjoint string values (forces
+	// fresh interning and rebuilds the table scratch end to end).
+	second := genRecords(512)
+	for i := range second {
+		second[i].Publisher = "second-" + second[i].Publisher
+		second[i].VideoID = "second-" + second[i].VideoID
+		second[i].URL = strings.Replace(second[i].URL, "example", "elsewhere", 1)
+		second[i].CDNs = []string{"cdn-z", "cdn-y"}
+		second[i].Bitrates = []int{9999, 8888, 7777}
+	}
+	if _, err := dec.DecodeAll(bytes.NewReader(encodeFrames(t, second))); err != nil {
+		t.Fatalf("second DecodeAll: %v", err)
+	}
+
+	// The admitted batch must be untouched: field for field against the
+	// deep snapshot, and byte for byte through the canonical encoding.
+	for i := range admitted {
+		if !reflect.DeepEqual(admitted[i], want[i]) {
+			t.Errorf("admitted record %d changed after scratch reuse:\n got %+v\nwant %+v", i, admitted[i], want[i])
+		}
+	}
+	if after := encodeFrames(t, admitted); !bytes.Equal(stable, after) {
+		t.Errorf("admitted batch is not byte-stable across a reusing decode: %d vs %d frame bytes", len(stable), len(after))
+	}
+}
+
+// deepCloneRecords copies records with no shared backing memory at
+// all — fresh string bytes and fresh CDN/bitrate arrays — so later
+// comparisons cannot be fooled by a shared-but-corrupted alias.
+func deepCloneRecords(recs []record.ViewRecord) []record.ViewRecord {
+	out := make([]record.ViewRecord, len(recs))
+	for i, r := range recs {
+		c := r
+		c.Publisher = strings.Clone(r.Publisher)
+		c.VideoID = strings.Clone(r.VideoID)
+		c.URL = strings.Clone(r.URL)
+		c.Device = strings.Clone(r.Device)
+		c.OS = strings.Clone(r.OS)
+		c.UserAgent = strings.Clone(r.UserAgent)
+		c.SDK = strings.Clone(r.SDK)
+		c.SDKVersion = strings.Clone(r.SDKVersion)
+		c.ISP = strings.Clone(r.ISP)
+		c.ConnType = strings.Clone(r.ConnType)
+		c.Geo = strings.Clone(r.Geo)
+		c.ContentID = strings.Clone(r.ContentID)
+		c.Owner = strings.Clone(r.Owner)
+		if r.CDNs != nil {
+			c.CDNs = make([]string, len(r.CDNs))
+			for j, s := range r.CDNs {
+				c.CDNs[j] = strings.Clone(s)
+			}
+		}
+		if r.Bitrates != nil {
+			c.Bitrates = append([]int(nil), r.Bitrates...)
+		}
+		out[i] = c
+	}
+	return out
+}

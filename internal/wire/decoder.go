@@ -35,9 +35,9 @@ var errTruncated = errors.New("wire: truncated frame")
 // what makes the reuse safe. A Decoder is not safe for concurrent
 // use; pool decoders per request instead.
 type Decoder struct {
-	frame  []byte
-	recs   []record.ViewRecord
-	names  []string
+	frame  []byte              //vmp:scratch reused frame buffer, valid until the next DecodeAll
+	recs   []record.ViewRecord //vmp:scratch reused record slice handed to callers per the ownership contract
+	names  []string            //vmp:scratch per-frame string table scratch
 	intern map[string]string
 	lenbuf [4]byte
 
@@ -58,6 +58,8 @@ const internCap = 1 << 15
 
 // internBytes returns the canonical string for b, allocating only on
 // first sight of a value.
+//
+//vmp:hotpath
 func (d *Decoder) internBytes(b []byte) string {
 	if s, ok := d.intern[string(b)]; ok {
 		return s
@@ -65,7 +67,7 @@ func (d *Decoder) internBytes(b []byte) string {
 	if len(d.intern) >= internCap {
 		clear(d.intern)
 	}
-	s := string(b)
+	s := string(b) //vmp:alloc first sight of a distinct value enters the persistent intern cache
 	d.intern[s] = s
 	return s
 }
@@ -76,11 +78,13 @@ func (d *Decoder) internBytes(b []byte) string {
 // an unknown version or flag, an out-of-range table ID, trailing
 // bytes — fails the whole stream: ingest handlers reject the batch so
 // a retry is exact.
+//
+//vmp:hotpath
 func (d *Decoder) DecodeAll(r io.Reader) ([]record.ViewRecord, error) {
 	d.recs = d.recs[:0]
 	st := decodeState{
-		cdns: make([]string, 0, d.cdnCap),
-		brs:  make([]int, 0, d.brCap),
+		cdns: make([]string, 0, d.cdnCap), //vmp:alloc per-call arena; admitted records retain views, so it is never reused
+		brs:  make([]int, 0, d.brCap),     //vmp:alloc per-call arena; admitted records retain views, so it is never reused
 	}
 	for {
 		if _, err := io.ReadFull(r, d.lenbuf[:]); err != nil {
@@ -94,7 +98,7 @@ func (d *Decoder) DecodeAll(r io.Reader) ([]record.ViewRecord, error) {
 			return nil, fmt.Errorf("wire: frame payload %d bytes exceeds MaxFrameBytes %d", n, MaxFrameBytes)
 		}
 		if cap(d.frame) < int(n) {
-			d.frame = make([]byte, n)
+			d.frame = make([]byte, n) //vmp:alloc amortized scratch grow, reused across calls
 		}
 		d.frame = d.frame[:n]
 		if _, err := io.ReadFull(r, d.frame); err != nil {
@@ -127,8 +131,10 @@ type frameReader struct {
 	pos int
 }
 
+//vmp:hotpath
 func (fr *frameReader) remaining() int { return len(fr.b) - fr.pos }
 
+//vmp:hotpath
 func (fr *frameReader) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(fr.b[fr.pos:])
 	if n <= 0 {
@@ -138,6 +144,7 @@ func (fr *frameReader) uvarint() (uint64, error) {
 	return v, nil
 }
 
+//vmp:hotpath
 func (fr *frameReader) take(n int) ([]byte, error) {
 	if n < 0 || fr.remaining() < n {
 		return nil, fmt.Errorf("%w: need %d bytes at offset %d, have %d", errTruncated, n, fr.pos, fr.remaining())
@@ -148,8 +155,10 @@ func (fr *frameReader) take(n int) ([]byte, error) {
 }
 
 // decodeFrame parses one payload, appending its records to d.recs.
+//
+//vmp:hotpath
 func (d *Decoder) decodeFrame(payload []byte, st *decodeState) error {
-	fr := &frameReader{b: payload}
+	fr := &frameReader{b: payload} //vmp:alloc cursor stays on the stack (escape analysis; pinned by the wire alloc benchmark)
 	hdr, err := fr.take(4)
 	if err != nil {
 		return err
@@ -209,7 +218,7 @@ func (d *Decoder) decodeFrame(payload []byte, st *decodeState) error {
 	// below, so reused slots need no zeroing.
 	base := len(d.recs)
 	if cap(d.recs)-base < n {
-		grown := make([]record.ViewRecord, base, base+n)
+		grown := make([]record.ViewRecord, base, base+n) //vmp:alloc amortized record-slice grow, reused across calls
 		copy(grown, d.recs)
 		d.recs = grown
 	}
@@ -318,6 +327,8 @@ func (d *Decoder) decodeFrame(payload []byte, st *decodeState) error {
 
 // setStringField assigns string column f of r; the order must match
 // stringFields.
+//
+//vmp:hotpath
 func setStringField(r *record.ViewRecord, f int, s string) {
 	switch f {
 	case 0:
@@ -358,6 +369,8 @@ var floatSetters = [4]func(*record.ViewRecord, float64){
 }
 
 // readBitset unpacks one LSB-first bitset column into out via set.
+//
+//vmp:hotpath
 func readBitset(fr *frameReader, out []record.ViewRecord, set func(*record.ViewRecord, bool)) error {
 	b, err := fr.take((len(out) + 7) / 8)
 	if err != nil {

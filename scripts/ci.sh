@@ -23,10 +23,12 @@ stage test      make test
 stage fmt-check make fmt-check
 stage vet       make vet
 stage lint      make lint
-# lint-report materializes the machine-readable findings document as a
-# CI artifact regardless of whether the lint stage passed; the lint
-# stage above is the gate, this file is the evidence.
+# lint-report materializes the machine-readable findings documents as
+# CI artifacts regardless of whether the lint stage passed; the lint
+# stage above is the gate, these files are the evidence (JSON for
+# scripts, SARIF for code-scanning UIs).
 stage lint-report sh -c '"${GO:-go}" run ./cmd/vmplint -json ./... > lint_report.json; test -s lint_report.json'
+stage lint-sarif sh -c '"${GO:-go}" run ./cmd/vmplint -sarif ./... > lint_report.sarif; test -s lint_report.sarif'
 stage race      make race
 stage smoke     make smoke
 # bench-wire-report materializes the wire-path benchmark numbers as a
