@@ -68,6 +68,17 @@ bench-wire:
 	$(GO) test -run xxx -bench BenchmarkScanJSONL -benchmem ./internal/telemetry/
 	$(GO) test -run xxx -bench BenchmarkHTTPIngest -benchmem ./internal/live/
 
+# bench-wal measures the durability tax: WAL-backed append throughput
+# under each fsync policy (batch, interval, off) plus raw replay
+# records/s, and the end-to-end HTTP ingest rate with the WAL attached.
+# The numbers live in BENCH_wal.json; group-commit (interval) must
+# sustain at least half of BENCH_live_ingest.json's binary HTTP rate,
+# and fsync=off must be within noise of running without a WAL at all.
+.PHONY: bench-wal
+bench-wal:
+	$(GO) test -run xxx -bench 'BenchmarkWALAppend|BenchmarkWALReplay' -benchmem ./internal/wal/
+	$(GO) test -run xxx -bench BenchmarkHTTPIngestWAL -benchmem ./internal/live/
+
 # bench-lint times a full twelve-analyzer run over the module tree
 # (serial load, parallel analysis) and records it in BENCH_lint.json,
 # so analyzer additions that regress lint latency show up in review.
@@ -81,3 +92,11 @@ bench-lint:
 .PHONY: smoke
 smoke:
 	sh scripts/smoke_live.sh
+
+# smoke-crash kill -9s a WAL-backed vmpd twice — once after a fully
+# acked stream, once mid-stream against vmpgen's acked ledger — and
+# requires recovery to lose nothing acknowledged and answer queries
+# byte-identically to offline vmpstudy over the surviving records.
+.PHONY: smoke-crash
+smoke-crash:
+	sh scripts/smoke_crash.sh

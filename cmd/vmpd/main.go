@@ -26,6 +26,7 @@ import (
 	"vmp/internal/obs"
 	"vmp/internal/simclock"
 	"vmp/internal/telemetry"
+	"vmp/internal/wal"
 )
 
 func main() {
@@ -41,12 +42,17 @@ func main() {
 		load       = flag.String("load", "", "JSONL dataset to preload before serving")
 		dump       = flag.String("dump", "", "JSONL file to write the final generation to on shutdown")
 		traceDepth = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
+		walDir     = flag.String("wal-dir", "", "write-ahead log directory; empty disables durability")
+		walFsync   = flag.String("wal-fsync", "batch", "WAL fsync policy: batch, interval, or off")
+		walSync    = flag.Duration("wal-sync-every", 25*time.Millisecond, "group-commit cadence for -wal-fsync interval")
+		walSegment = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
 	)
 	flag.Parse()
 
 	clk := simclock.Wall()
 	tracer := obs.NewTracer(clk, *traceDepth)
 	tracer.SetEnabled(*traceDepth > 0)
+	metrics := obs.NewRegistry()
 	engine := live.NewEngine(live.Config{
 		Shards:     *shards,
 		QueueDepth: *queueDepth,
@@ -54,9 +60,46 @@ func main() {
 		EpochEvery: *epoch,
 		RetryAfter: *retryAfter,
 		Clock:      clk,
+		Metrics:    metrics,
 		Trace:      tracer,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
+
+	// The WAL replays BEFORE it is attached (so replayed records are
+	// not appended back to the log they came from) and before the
+	// listener opens (so no query can observe the pre-replay state);
+	// the snapshot after attach republishes the recovered generation
+	// and compacts the replayed segments into a fresh checkpoint.
+	var wlog *wal.Log
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			log.Fatal(fmt.Errorf("vmpd: %w", err))
+		}
+		wlog, err = wal.Open(wal.Options{
+			Dir:          *walDir,
+			Shards:       *shards,
+			Policy:       policy,
+			SyncEvery:    *walSync,
+			SegmentBytes: *walSegment,
+			Clock:        clk,
+			Metrics:      metrics,
+			Trace:        tracer,
+		})
+		if err != nil {
+			log.Fatal(fmt.Errorf("vmpd: %w", err))
+		}
+		stats, err := wlog.Replay(func(recs []telemetry.ViewRecord) error {
+			return ingestAll(ctx, engine, recs)
+		}, 0)
+		if err != nil {
+			log.Fatal(fmt.Errorf("vmpd: wal replay: %w", err))
+		}
+		engine.AttachWAL(wlog)
+		g := engine.Snapshot()
+		log.Printf("vmpd: wal %s replayed %d records (%d checkpoint + %d segment, %d torn tails); epoch %d",
+			*walDir, stats.Delivered(), stats.CheckpointRecords, stats.SegmentRecords, stats.TornTails, g.Epoch)
+	}
 	if *load != "" {
 		n, err := preload(ctx, engine, *load)
 		if err != nil {
@@ -99,6 +142,13 @@ func main() {
 		log.Fatal(fmt.Errorf("vmpd: %w", err))
 	}
 	log.Printf("vmpd: drained; final epoch %d holds %d records", g.Epoch, g.Records)
+	if wlog != nil {
+		// After Close's final epoch the WAL holds one fresh checkpoint
+		// and no live segments; close flushes and releases the files.
+		if err := wlog.Close(); err != nil {
+			log.Printf("vmpd: wal close: %v", err)
+		}
+	}
 	if *dump != "" {
 		if err := dumpGeneration(g, *dump); err != nil {
 			log.Fatal(fmt.Errorf("vmpd: dump: %w", err))
@@ -124,16 +174,27 @@ func preload(ctx context.Context, engine *live.Engine, path string) (int, error)
 	if bad > 0 {
 		return 0, fmt.Errorf("loading %s: %d malformed lines", path, bad)
 	}
+	if err := ingestAll(ctx, engine, recs); err != nil {
+		return 0, fmt.Errorf("loading %s: %w", path, err)
+	}
+	return len(recs), nil
+}
+
+// ingestAll admits one batch, waiting out backpressure: the consumers
+// are already running, so full queues clear themselves. The waits ride
+// ctx so shutdown interrupts a stalled ingest. This is also the WAL
+// replay sink — replay hands batches here before the listener opens.
+func ingestAll(ctx context.Context, engine *live.Engine, recs []telemetry.ViewRecord) error {
 	for {
 		res, err := engine.Ingest(recs)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		if res.Backpressured == 0 {
-			return len(recs), nil
+			return nil
 		}
 		if err := simclock.Wait(ctx, res.RetryAfter); err != nil {
-			return 0, fmt.Errorf("loading %s: %w", path, err)
+			return err
 		}
 	}
 }

@@ -48,6 +48,7 @@ func main() {
 		postVerify = flag.Bool("post-verify", false, "after -post, check the server's /v1/metrics ingest counter covers every posted record")
 		encoding   = flag.String("encode", "jsonl", "POST body encoding: jsonl or binary")
 		compress   = flag.Bool("compress", false, "gzip-compress POST bodies (Content-Encoding: gzip)")
+		acked      = flag.String("acked", "", "with -post: append each 202-acknowledged batch to this JSONL file before posting the next (crash-test ledger)")
 	)
 	flag.Parse()
 
@@ -84,6 +85,22 @@ func main() {
 		d, err := newDriver(*encoding, *compress, *seed)
 		if err != nil {
 			fatal(err)
+		}
+		if *acked != "" {
+			// Unbuffered on purpose: each acknowledged batch must be on
+			// disk before the next POST, so when a crash test kills the
+			// server mid-stream the ledger is an exact record of what
+			// the server took responsibility for.
+			f, err := os.Create(*acked)
+			if err != nil {
+				fatal(err)
+			}
+			d.acked = f
+			defer func() {
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}()
 		}
 		if err := d.drive(context.Background(), *post, recs, *postBatch, *postTries); err != nil {
 			fatal(err)
@@ -208,6 +225,7 @@ type driver struct {
 	jitter *rand.Rand
 	clock  simclock.Clock
 	wait   func(context.Context, time.Duration) error
+	acked  io.Writer // when set, every 202-acked batch is appended as JSONL
 
 	// retryAfterHint is the wait post computed from the last 429
 	// response, kept here so drive's retry loop stays free of response
@@ -259,6 +277,11 @@ func (d *driver) drive(ctx context.Context, url string, recs []telemetry.ViewRec
 				return err
 			}
 			if status == http.StatusAccepted {
+				if d.acked != nil {
+					if err := telemetry.EncodeJSONL(d.acked, recs[lo:hi]); err != nil {
+						return fmt.Errorf("acked ledger: %w", err)
+					}
+				}
 				posted += hi - lo
 				break
 			}

@@ -21,6 +21,7 @@ package live
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,23 @@ import (
 
 // ErrClosed is returned by Ingest after Close.
 var ErrClosed = errors.New("live: engine closed")
+
+// WAL is the durability hook the engine drives — satisfied by
+// *wal.Log. AppendBatch persists an admitted batch's per-shard parts
+// before the records enter the shard queues: an error means the batch
+// must be rejected whole (the handler returns 503 and the client
+// retries), so acknowledgement implies the WAL has the records.
+// Bounds reports the last sequence appended per shard; the engine
+// reads it under the same admission lock that quiesces appends while
+// an epoch flushes, making the reading exact. Commit hands a freshly
+// published generation back so the WAL can checkpoint it and truncate
+// the segments it covers; a Commit error is counted, not fatal — the
+// WAL keeps growing but loses nothing.
+type WAL interface {
+	AppendBatch(parts [][]telemetry.ViewRecord, parent obs.SpanID) error
+	Bounds() []uint64
+	Commit(epoch int64, records []telemetry.ViewRecord, bounds []uint64, parent obs.SpanID) error
+}
 
 // Config parameterizes an Engine. The zero value gets sensible
 // defaults: 8 shards, 64 queued batches per shard, 4096-record
@@ -48,6 +66,7 @@ type Config struct {
 	Clock      simclock.Clock // time source (inject a manual clock in tests)
 	Metrics    *obs.Registry  // metrics destination
 	Trace      *obs.Tracer    // span/event destination (nil = disabled)
+	WAL        WAL            // durability hook (nil = no WAL)
 }
 
 func (c Config) withDefaults() Config {
@@ -131,9 +150,14 @@ type Engine struct {
 	// ingestMu serializes admission: with the consumers only ever
 	// draining, holding it across the capacity check and the sends
 	// makes batch admission atomic — a batch is enqueued everywhere or
-	// rejected whole, so retries never duplicate records.
+	// rejected whole, so retries never duplicate records. It also
+	// serializes admission against the epoch cut: Snapshot holds it
+	// across the WAL bounds reading, the shard flush, and the pending
+	// take, so a generation contains exactly the records at or below
+	// the bounds it commits.
 	ingestMu sync.Mutex
 	closed   bool // guarded by ingestMu
+	wal      WAL  // guarded by ingestMu; nil when durability is off
 
 	// snapMu serializes epoch snapshots and consumer shutdown.
 	snapMu  sync.Mutex
@@ -145,6 +169,7 @@ type Engine struct {
 
 	ingested      *obs.Counter
 	backpressured *obs.Counter
+	walErrors     *obs.Counter
 	snapshots     *obs.Counter
 	batchSizes    *obs.Histogram
 	snapLatency   *obs.Histogram
@@ -161,8 +186,10 @@ func NewEngine(cfg Config) *Engine {
 		cfg:           cfg,
 		clock:         cfg.Clock,
 		tracer:        cfg.Trace,
+		wal:           cfg.WAL,
 		ingested:      cfg.Metrics.Counter("live_ingest_records_total"),
 		backpressured: cfg.Metrics.Counter("live_ingest_backpressured_total"),
+		walErrors:     cfg.Metrics.Counter("live_wal_errors_total"),
 		snapshots:     cfg.Metrics.Counter("live_snapshots_total"),
 		batchSizes:    cfg.Metrics.Histogram("live_append_batch_records", []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
 		snapLatency:   cfg.Metrics.Histogram("live_snapshot_seconds", []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
@@ -192,6 +219,16 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // RetryAfter returns the configured backpressure hint.
 func (e *Engine) RetryAfter() time.Duration { return e.cfg.RetryAfter }
+
+// AttachWAL installs (or removes, with nil) the durability hook. The
+// boot sequence uses it to replay a WAL through Ingest *before*
+// attaching it, so replayed records are not appended back to the log
+// they came from.
+func (e *Engine) AttachWAL(w WAL) {
+	e.ingestMu.Lock()
+	e.wal = w
+	e.ingestMu.Unlock()
+}
 
 // Generation returns the currently published generation. The result is
 // immutable; callers may retain it across epochs.
@@ -272,6 +309,19 @@ func (e *Engine) IngestSpan(recs []telemetry.ViewRecord, parent obs.SpanID) (Res
 			sp.End(obs.KV("records", int64(len(recs))), obs.KV("backpressured", int64(len(recs))))
 			e.tracer.Emit("batch_rejected", obs.KV("records", int64(len(recs))), obs.KV("shard", int64(si)))
 			return Result{Backpressured: len(recs), RetryAfter: e.cfg.RetryAfter}, nil
+		}
+	}
+	if e.wal != nil {
+		// Durability precedes acknowledgement: the batch reaches the
+		// WAL (fsynced, under PolicyBatch) before any record enters a
+		// shard queue. An append failure rejects the batch whole —
+		// nothing was enqueued, so the client's retry is exact.
+		if err := e.wal.AppendBatch(parts, sp.ID()); err != nil {
+			e.ingestMu.Unlock()
+			e.walErrors.Add(1)
+			sp.End(obs.KV("records", int64(len(recs))), obs.KV("wal_error", 1))
+			e.tracer.Emit("wal_append_error", obs.KV("records", int64(len(recs))))
+			return Result{}, fmt.Errorf("live: wal append: %w", err)
 		}
 	}
 	shards := int64(0)
@@ -397,9 +447,18 @@ func (e *Engine) Snapshot() *Generation {
 	sp := e.tracer.Start("epoch.cut", 0)
 	e.tracer.Emit("epoch_cut", obs.KV("epoch", e.gen.Load().Epoch+1))
 	fsp := e.tracer.Start("epoch.flush", sp.ID())
+	// Admission is held off across the bounds reading, the flush, and
+	// the pending take: the generation cut here contains exactly the
+	// records at or below the WAL bounds — nothing admitted later can
+	// leak into it — which is what makes the Commit truncation and a
+	// post-crash replay reconstruct this generation, no more, no less.
+	e.ingestMu.Lock()
+	w := e.wal
+	var bounds []uint64
+	if w != nil {
+		bounds = w.Bounds()
+	}
 	e.flushShards()
-	fsp.End(obs.KV("shards", int64(len(e.shards))))
-	msp := e.tracer.Start("epoch.merge", sp.ID())
 	parts := make([][]telemetry.ViewRecord, len(e.shards))
 	n := len(e.base)
 	delta := 0
@@ -408,6 +467,9 @@ func (e *Engine) Snapshot() *Generation {
 		delta += len(parts[i])
 		n += len(parts[i])
 	}
+	e.ingestMu.Unlock()
+	fsp.End(obs.KV("shards", int64(len(e.shards))))
+	msp := e.tracer.Start("epoch.merge", sp.ID())
 	merged := make([]telemetry.ViewRecord, 0, n)
 	merged = append(merged, e.base...)
 	for _, p := range parts {
@@ -433,6 +495,15 @@ func (e *Engine) Snapshot() *Generation {
 	e.snapLatency.Observe(e.clock.Now().Sub(start).Seconds())
 	e.tracer.Emit("generation_published",
 		obs.KV("epoch", g.Epoch), obs.KV("records", int64(g.Records)), obs.KV("delta", int64(delta)))
+	if w != nil {
+		// Fold the WAL forward to the published generation. A failed
+		// commit is counted, not fatal: the WAL keeps its segments and
+		// the previous checkpoint, so it grows but loses nothing.
+		if err := w.Commit(g.Epoch, ds.All(), bounds, sp.ID()); err != nil {
+			e.walErrors.Add(1)
+			e.tracer.Emit("wal_commit_error", obs.KV("epoch", g.Epoch))
+		}
+	}
 	sp.End(obs.KV("epoch", g.Epoch), obs.KV("records", int64(g.Records)))
 	return g
 }

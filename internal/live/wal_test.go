@@ -1,0 +1,269 @@
+package live
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vmp/internal/obs"
+	"vmp/internal/simclock"
+	"vmp/internal/telemetry"
+	"vmp/internal/wal"
+	"vmp/internal/wire"
+)
+
+// The engine-WAL contract tests: durability precedes acknowledgement,
+// an epoch commit makes replay reconstruct exactly the published
+// generation, and a crash between admission and the next epoch loses
+// nothing that was acknowledged.
+
+var _ WAL = (*wal.Log)(nil)
+
+func openTestWAL(t *testing.T, dir string, shards int) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(wal.Options{
+		Dir:    dir,
+		Shards: shards,
+		Policy: wal.PolicyBatch,
+		Clock:  simclock.NewManual(simclock.StudyStart),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l
+}
+
+// genJSONL renders a generation the canonical way; byte equality of
+// two generations is the pipeline's definition of "same data".
+func genJSONL(t *testing.T, g *Generation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.EncodeJSONL(&buf, g.Dataset.All()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// replayInto streams a WAL into an engine through the normal Ingest
+// path, the way vmpd's boot sequence does.
+func replayInto(t *testing.T, l *wal.Log, e *Engine) {
+	t.Helper()
+	if _, err := l.Replay(func(recs []telemetry.ViewRecord) error {
+		for {
+			res, err := e.Ingest(recs)
+			if err != nil {
+				return err
+			}
+			if res.Backpressured == 0 {
+				return nil
+			}
+		}
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// postBinary sends one binary-encoded batch to a server's ingest
+// endpoint and returns the status.
+func postBinary(t *testing.T, url string, recs []telemetry.ViewRecord) int {
+	t.Helper()
+	frame, err := wire.NewEncoder().AppendFrame(nil, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/views", wire.ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestWALKillPointCrashConsistency is the kill-point test: batches are
+// acknowledged over HTTP by a WAL-backed engine, the engine is dropped
+// without ever cutting an epoch (the crash window where all acked data
+// lives only in queues, pending buffers, and the WAL), and a rebuilt
+// engine replaying that WAL must answer every query byte-identically
+// to an engine that never crashed.
+func TestWALKillPointCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecords(2000)
+
+	wlog := openTestWAL(t, dir, 4)
+	crashed := NewEngine(Config{Shards: 4, Clock: simclock.NewManual(simclock.StudyStart), WAL: wlog})
+	srv := httptest.NewServer(NewServer(crashed).Handler())
+	for lo := 0; lo < len(recs); lo += 500 {
+		if code := postBinary(t, srv.URL, recs[lo:lo+500]); code != http.StatusAccepted {
+			t.Fatalf("POST batch at %d: status %d", lo, code)
+		}
+	}
+	srv.Close()
+	// "Crash": the engine is abandoned with every acked record still
+	// volatile — no Snapshot, no Close-time final epoch, no WAL commit.
+	// (Detaching first keeps the leaked-goroutine cleanup below from
+	// writing a shutdown epoch into the WAL, which a real crash never
+	// would.)
+	crashed.AttachWAL(nil)
+	defer crashed.Close()
+	if err := wlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The no-crash control: same records, no WAL, one epoch.
+	control := newTestEngine(t, Config{Shards: 4})
+	mustIngest(t, control, recs)
+	control.Snapshot()
+
+	// Recovery: reopen the directory, replay through Ingest, attach,
+	// cut the boot epoch — vmpd's exact boot sequence.
+	wlog2 := openTestWAL(t, dir, 4)
+	rebuilt := newTestEngine(t, Config{Shards: 4})
+	replayInto(t, wlog2, rebuilt)
+	rebuilt.AttachWAL(wlog2)
+	rebuilt.Snapshot()
+
+	if !bytes.Equal(genJSONL(t, rebuilt.Generation()), genJSONL(t, control.Generation())) {
+		t.Fatal("rebuilt generation differs from the no-crash control")
+	}
+
+	day := simclock.StudyStart.Format("2006-01-02")
+	ctlSrv := httptest.NewServer(NewServer(control).Handler())
+	defer ctlSrv.Close()
+	rbSrv := httptest.NewServer(NewServer(rebuilt).Handler())
+	defer rbSrv.Close()
+	for _, q := range []string{
+		"/v1/query/share?dim=protocol",
+		"/v1/query/share?dim=cdn&by=views",
+		"/v1/query/top-publishers?n=5",
+		"/v1/query/window?start=" + day + "&days=3",
+	} {
+		want := get(t, ctlSrv.URL+q)
+		got := get(t, rbSrv.URL+q)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s answers differ after crash recovery:\n got: %s\nwant: %s", q, got, want)
+		}
+	}
+}
+
+// TestWALReplayIdempotent pins replay idempotence at the engine level:
+// replaying the same WAL twice into two fresh engines publishes
+// byte-identical generations.
+func TestWALReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	recs := genRecords(1200)
+	wlog := openTestWAL(t, dir, 4)
+	e := newTestEngine(t, Config{Shards: 4, WAL: wlog})
+	mustIngest(t, e, recs[:700])
+	e.Snapshot() // commit + truncate: replay must cross the checkpoint
+	mustIngest(t, e, recs[700:])
+	e.Flush() // admitted but uncommitted: the segment tail
+
+	var gens [][]byte
+	for i := 0; i < 2; i++ {
+		re := newTestEngine(t, Config{Shards: 4})
+		replayInto(t, wlog, re)
+		re.Snapshot()
+		gens = append(gens, genJSONL(t, re.Generation()))
+	}
+	if !bytes.Equal(gens[0], gens[1]) {
+		t.Fatal("double replay published different generations")
+	}
+	control := newTestEngine(t, Config{Shards: 4})
+	mustIngest(t, control, recs)
+	control.Snapshot()
+	if !bytes.Equal(gens[0], genJSONL(t, control.Generation())) {
+		t.Fatal("replayed generation differs from direct ingest of the same records")
+	}
+}
+
+// TestWALCommitTruncatesOnEpoch: each published epoch folds the WAL
+// forward — after Snapshot, a fresh replay serves the generation from
+// the checkpoint, and the appended segments are gone.
+func TestWALCommitTruncatesOnEpoch(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	wlog, err := wal.Open(wal.Options{
+		Dir:     dir,
+		Shards:  4,
+		Policy:  wal.PolicyBatch,
+		Clock:   simclock.NewManual(simclock.StudyStart),
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = wlog.Close() })
+	e := newTestEngine(t, Config{Shards: 4, Metrics: reg, WAL: wlog})
+	recs := genRecords(900)
+	mustIngest(t, e, recs)
+	g := e.Snapshot()
+	if g.Records != 900 {
+		t.Fatalf("epoch holds %d records, want 900", g.Records)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["wal_truncated_total"] == 0 {
+		t.Fatal("epoch publish did not truncate the WAL")
+	}
+	if snap.Counters["live_wal_errors_total"] != 0 {
+		t.Fatalf("wal errors during clean run: %d", snap.Counters["live_wal_errors_total"])
+	}
+	re := newTestEngine(t, Config{Shards: 4})
+	replayInto(t, wlog, re)
+	re.Snapshot()
+	if !bytes.Equal(genJSONL(t, re.Generation()), genJSONL(t, g2gen(e))) {
+		t.Fatal("checkpoint replay does not reconstruct the published generation")
+	}
+}
+
+func g2gen(e *Engine) *Generation { return e.Generation() }
+
+// errWAL fails every append, to pin the rejection contract.
+type errWAL struct{}
+
+func (w *errWAL) AppendBatch([][]telemetry.ViewRecord, obs.SpanID) error {
+	return errors.New("disk on fire")
+}
+func (w *errWAL) Bounds() []uint64                                                 { return make([]uint64, 4) }
+func (w *errWAL) Commit(int64, []telemetry.ViewRecord, []uint64, obs.SpanID) error { return nil }
+
+// TestWALAppendErrorRejectsBatchWhole: a WAL append failure must
+// reject the batch with nothing enqueued (503 over HTTP, counted), so
+// the client's retry cannot duplicate records.
+func TestWALAppendErrorRejectsBatchWhole(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newTestEngine(t, Config{Shards: 4, Metrics: reg, WAL: &errWAL{}})
+	srv := httptest.NewServer(NewServer(e).Handler())
+	defer srv.Close()
+	if code := postBinary(t, srv.URL, genRecords(100)); code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest with failing WAL: status %d, want 503", code)
+	}
+	if n := reg.Snapshot().Counters["live_wal_errors_total"]; n != 1 {
+		t.Fatalf("live_wal_errors_total = %d, want 1", n)
+	}
+	e.AttachWAL(nil)
+	if g := e.Snapshot(); g.Records != 0 {
+		t.Fatalf("%d records enqueued despite WAL failure", g.Records)
+	}
+}

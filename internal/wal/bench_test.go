@@ -1,0 +1,114 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"vmp/internal/simclock"
+	"vmp/internal/telemetry/record"
+)
+
+// benchAppend measures AppendBatch throughput under one fsync policy:
+// one op = one 2000-record batch landed across 4 shards, durable to
+// whatever degree the policy promises. The log is recycled every 200
+// ops outside the timer so segment accumulation doesn't turn this into
+// a filesystem benchmark. The spread between the three policies is the
+// durability tax EXPERIMENTS.md tracks.
+func benchAppend(b *testing.B, policy Policy) {
+	root := b.TempDir()
+	parts := partition(genRecords(2000), 4)
+
+	var (
+		l   *Log
+		gen int
+		err error
+	)
+	boot := func() {
+		dir := filepath.Join(root, "wal-"+strconv.Itoa(gen))
+		gen++
+		l, err = Open(Options{
+			Dir:    dir,
+			Shards: 4,
+			Policy: policy,
+			Clock:  simclock.NewManual(simclock.StudyStart),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	shutdown := func() {
+		if err := l.Close(); err != nil {
+			b.Fatal(err)
+		}
+		_ = os.RemoveAll(filepath.Join(root, "wal-"+strconv.Itoa(gen-1)))
+	}
+	boot()
+	defer func() { shutdown() }()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%200 == 0 {
+			b.StopTimer()
+			shutdown()
+			boot()
+			b.StartTimer()
+		}
+		if err := l.AppendBatch(parts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkWALAppendBatch fsyncs every batch before returning — the
+// strongest guarantee and the ceiling on per-batch latency.
+func BenchmarkWALAppendBatch(b *testing.B) { benchAppend(b, PolicyBatch) }
+
+// BenchmarkWALAppendInterval group-commits on the sync loop's cadence;
+// appends only pay the write() syscall.
+func BenchmarkWALAppendInterval(b *testing.B) { benchAppend(b, PolicyInterval) }
+
+// BenchmarkWALAppendOff never fsyncs — the page-cache-only floor that
+// isolates the WAL's CPU cost (framing, CRC, one write per record).
+func BenchmarkWALAppendOff(b *testing.B) { benchAppend(b, PolicyOff) }
+
+// BenchmarkWALReplay measures boot-time recovery: decode and deliver
+// every record from a 100k-record log (50 segments-worth of appends,
+// no checkpoint). One op = one full replay. The records/s here bounds
+// how much WAL backlog a daemon can absorb per second of downtime.
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(Options{
+		Dir:    dir,
+		Shards: 4,
+		Policy: PolicyOff,
+		Clock:  simclock.NewManual(simclock.StudyStart),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	parts := partition(genRecords(2000), 4)
+	const batches = 50
+	for i := 0; i < batches; i++ {
+		if err := l.AppendBatch(parts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := l.Replay(func(recs []record.ViewRecord) error { return nil }, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Delivered() != 2000*batches {
+			b.Fatalf("replay delivered %d records, want %d", stats.Delivered(), 2000*batches)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2000*batches*b.N)/b.Elapsed().Seconds(), "records/s")
+}

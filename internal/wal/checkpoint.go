@@ -1,0 +1,339 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"vmp/internal/obs"
+	"vmp/internal/telemetry/record"
+	"vmp/internal/wire"
+)
+
+// On-disk checkpoint layout. A checkpoint is the published generation
+// made durable, so the segments whose records it covers can be
+// deleted without ever shrinking what a replay reconstructs:
+//
+//	"VWCK"          — magic
+//	u8 version      — 1
+//	uvarint epoch   — engine epoch that published the generation
+//	uvarint total   — record count across all frames
+//	uvarint nshards — shard count at commit time
+//	nshards×uvarint — per-shard WAL bounds: segment records with
+//	                  seq <= bounds[i] are in this checkpoint
+//	frames          — the generation's records as wire binary frames
+//	u32le crc32c    — Castagnoli CRC over every preceding byte
+//
+// The file is written to a temp name, fsynced, renamed into place,
+// and the directory fsynced — so a crash anywhere in Commit leaves
+// either the old checkpoint or the new one, both intact. Checkpoint
+// names carry a WAL-internal monotonic ID (engine epochs restart at
+// zero each boot, so they cannot order files across restarts); the
+// epoch inside is metadata.
+const (
+	ckptVersion      = 1
+	ckptHeaderMin    = 5
+	ckptChunkRecords = 8192
+)
+
+var ckptMagic = []byte{'V', 'W', 'C', 'K'}
+
+// ckptInfo is one on-disk checkpoint file.
+type ckptInfo struct {
+	id   uint64
+	path string
+}
+
+// ckptHeader is a parsed checkpoint minus its frames.
+type ckptHeader struct {
+	epoch  int64
+	total  uint64
+	bounds []uint64
+	frames []byte // the wire frames region, CRC already verified
+}
+
+// parseCheckpoint validates data's CRC and parses the header. Any
+// mismatch is a hard error: a checkpoint is written atomically, so
+// unlike a segment tail there is no benign torn form.
+func parseCheckpoint(data []byte) (*ckptHeader, error) {
+	if len(data) < ckptHeaderMin+4 {
+		return nil, fmt.Errorf("wal: checkpoint too short (%d bytes)", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: checkpoint CRC mismatch")
+	}
+	if !bytes.Equal(body[:4], ckptMagic) {
+		return nil, fmt.Errorf("wal: bad checkpoint magic %q", body[:4])
+	}
+	if body[4] != ckptVersion {
+		return nil, fmt.Errorf("wal: unknown checkpoint version %d", body[4])
+	}
+	rest := body[ckptHeaderMin:]
+	var h ckptHeader
+	u, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: checkpoint: bad epoch varint")
+	}
+	h.epoch = int64(u)
+	rest = rest[n:]
+	if h.total, n = binary.Uvarint(rest); n <= 0 {
+		return nil, fmt.Errorf("wal: checkpoint: bad total varint")
+	}
+	rest = rest[n:]
+	nshards, n := binary.Uvarint(rest)
+	if n <= 0 || nshards > 1<<16 {
+		return nil, fmt.Errorf("wal: checkpoint: bad shard count")
+	}
+	rest = rest[n:]
+	h.bounds = make([]uint64, nshards)
+	for i := range h.bounds {
+		if h.bounds[i], n = binary.Uvarint(rest); n <= 0 {
+			return nil, fmt.Errorf("wal: checkpoint: bad bound varint for shard %d", i)
+		}
+		rest = rest[n:]
+	}
+	h.frames = rest
+	return &h, nil
+}
+
+// loadCheckpointBounds reads just what Open needs from the latest
+// checkpoint: its per-shard bounds, CRC-verified.
+func loadCheckpointBounds(path string) ([]uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	h, err := parseCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return h.bounds, nil
+}
+
+// replayCheckpoint streams a checkpoint's records through fn one frame
+// at a time. The slice passed to fn obeys dec's reuse contract.
+func replayCheckpoint(path string, dec *wire.Decoder, fn func(recs []record.ViewRecord) error) (*ckptHeader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	h, err := parseCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	frames := h.frames
+	delivered := uint64(0)
+	for len(frames) > 0 {
+		if len(frames) < 4 {
+			return nil, fmt.Errorf("wal: checkpoint %s: truncated frame length", path)
+		}
+		n := int64(binary.LittleEndian.Uint32(frames))
+		if n > wire.MaxFrameBytes || int64(len(frames))-4 < n {
+			return nil, fmt.Errorf("wal: checkpoint %s: bad frame length %d", path, n)
+		}
+		recs, err := dec.DecodeAll(bytes.NewReader(frames[:4+n]))
+		if err != nil {
+			return nil, fmt.Errorf("wal: checkpoint %s: %w", path, err)
+		}
+		if err := fn(recs); err != nil {
+			return nil, err
+		}
+		delivered += uint64(len(recs))
+		frames = frames[4+n:]
+	}
+	if delivered != h.total {
+		return nil, fmt.Errorf("wal: checkpoint %s: frames hold %d records, header declares %d", path, delivered, h.total)
+	}
+	return h, nil
+}
+
+// encodeCheckpoint builds the full checkpoint file image.
+func encodeCheckpoint(epoch int64, records []record.ViewRecord, bounds []uint64) ([]byte, error) {
+	enc := wire.NewEncoder()
+	buf := make([]byte, 0, 1<<16+len(records)*32)
+	buf = append(buf, ckptMagic...)
+	buf = append(buf, ckptVersion)
+	buf = binary.AppendUvarint(buf, uint64(epoch))
+	buf = binary.AppendUvarint(buf, uint64(len(records)))
+	buf = binary.AppendUvarint(buf, uint64(len(bounds)))
+	for _, b := range bounds {
+		buf = binary.AppendUvarint(buf, b)
+	}
+	for len(records) > 0 {
+		n := len(records)
+		if n > ckptChunkRecords {
+			n = ckptChunkRecords
+		}
+		var err error
+		if buf, err = enc.AppendFrame(buf, records[:n]); err != nil {
+			return nil, err
+		}
+		records = records[n:]
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli)), nil
+}
+
+// Commit folds the log forward to a published generation: it writes
+// records (the generation's full contents) as a new checkpoint, then
+// deletes every segment whose records the checkpoint covers — the
+// epoch-boundary truncation. bounds must be the Bounds() reading the
+// engine took under its admission lock before flushing the epoch, so
+// "covered" is exact: seq <= bounds[i] is in records, seq > bounds[i]
+// is not.
+//
+// Commit is degradation-safe: any failure leaves the previous
+// checkpoint and all segments intact, so the log keeps growing but
+// loses nothing — callers count the error and carry on. Commits are
+// expected to be serialized by the caller (the engine's snapshot
+// lock); appends may run concurrently.
+func (l *Log) Commit(epoch int64, records []record.ViewRecord, bounds []uint64, parent obs.SpanID) error {
+	sp := l.tracer.Start("wal.truncate", parent)
+	truncated, err := l.commit(epoch, records, bounds)
+	if err != nil {
+		sp.End(obs.KV("error", 1))
+		return err
+	}
+	sp.End(obs.KV("epoch", epoch), obs.KV("records", int64(len(records))), obs.KV("truncated", truncated))
+	return nil
+}
+
+func (l *Log) commit(epoch int64, records []record.ViewRecord, bounds []uint64) (int64, error) {
+	l.mu.Lock()
+	if len(bounds) != len(l.shards) {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: commit with %d bounds for %d shards", len(bounds), len(l.shards))
+	}
+	if l.lastCommit != nil && boundsEqual(bounds, l.lastCommit) {
+		// Nothing appended since the last commit: the checkpoint on
+		// disk already describes this generation. Idle epochs must not
+		// rewrite it.
+		l.mu.Unlock()
+		return 0, nil
+	}
+	id := l.nextCkptID
+	l.mu.Unlock()
+
+	// Build and persist the new checkpoint without holding mu —
+	// appends continue while the generation is written out.
+	img, err := encodeCheckpoint(epoch, records, bounds)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encoding checkpoint: %w", err)
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("checkpoint-%016x.ckpt", id))
+	if err := writeFileDurable(path, img); err != nil {
+		return 0, err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.ckpts
+	l.ckpts = []ckptInfo{{id: id, path: path}}
+	l.nextCkptID = id + 1
+	l.cpBounds = append([]uint64(nil), bounds...)
+	l.lastCommit = append([]uint64(nil), bounds...)
+
+	// Everything at or below the bounds is durable in the checkpoint;
+	// drop the segments (and superseded checkpoints) that carried it.
+	// Removal failures are reported but cannot lose data — replay
+	// filters seq <= bounds anyway.
+	truncated := int64(0)
+	var firstErr error
+	for i, sh := range l.shards {
+		keep := sh.segs[:0]
+		for j, seg := range sh.segs {
+			if seg.last > bounds[i] || seg.last < seg.first {
+				keep = append(keep, seg)
+				continue
+			}
+			if j == len(sh.segs)-1 && sh.f != nil {
+				// The active segment is fully covered: close it so the
+				// next append starts a fresh file above the bound.
+				err := sh.f.Close()
+				sh.f = nil
+				sh.size = 0
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("wal: closing shard %d segment: %w", i, err)
+				}
+			}
+			if err := os.Remove(seg.path); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("wal: %w", err)
+				}
+				keep = append(keep, seg)
+				continue
+			}
+			truncated += int64(seg.last - seg.first + 1)
+		}
+		sh.segs = keep
+	}
+	for _, st := range l.stale {
+		for _, seg := range st.segs {
+			if seg.last >= seg.first {
+				truncated += int64(seg.last - seg.first + 1)
+			}
+		}
+		if err := os.RemoveAll(st.dir); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.stale = nil
+	for _, c := range old {
+		if err := os.Remove(c.path); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.truncated.Add(truncated)
+	return truncated, firstErr
+}
+
+func boundsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFileDurable writes data at path atomically and durably: temp
+// file, fsync, rename, directory fsync.
+func writeFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close() // the sync error is the one worth reporting
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncErr := dir.Sync()
+	if err := dir.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	if syncErr != nil {
+		return fmt.Errorf("wal: syncing directory: %w", syncErr)
+	}
+	return nil
+}

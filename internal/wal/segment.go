@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"vmp/internal/telemetry/record"
+	"vmp/internal/wire"
+)
+
+// On-disk segment record layout. A segment file is a sequence of
+// records, nothing else — no file header, no index; the segment's
+// place in the log is carried by its name (seg-<first-seq>.wal) and
+// each record's own sequence number.
+//
+//	u32le  length   — byte count of everything after the CRC field
+//	u32le  crc32c   — Castagnoli CRC over those length bytes
+//	uvarint seq     — per-shard monotonic sequence number
+//	frames          — one or more wire binary frames (internal/wire),
+//	                  exactly as Encoder.AppendFrame lays them out
+//
+// The CRC covers the sequence number and the frame bytes, so a torn
+// write — a crash mid-record — is detected no matter where it lands:
+// a short header, a short body, or a complete-looking body whose
+// bytes never all reached the disk.
+const (
+	recordHeaderBytes = 8
+
+	// MaxRecordBytes bounds one record's post-CRC byte count. The
+	// appender chunks batches well below it; the decoder rejects
+	// larger declared lengths before allocating, so a corrupt length
+	// field cannot provoke an over-allocation.
+	MaxRecordBytes = wire.MaxFrameBytes + 64
+)
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Torn describes a segment tail the decoder could not use: the offset
+// where intact records end and why the rest is unusable. A torn tail
+// is the expected aftermath of a crash mid-append; replay stops
+// cleanly at the last good record rather than failing the boot.
+type Torn struct {
+	Off    int64  // byte offset of the first unusable record
+	Reason string // "partial header", "partial body", "crc mismatch", "oversized length", "zero length"
+}
+
+// DecodeSegment scans one segment's bytes, invoking fn for each intact
+// record in order. The record slice passed to fn obeys dec's reuse
+// contract: it is valid only until the next record is decoded, so fn
+// must copy what it keeps. A nil dec verifies framing and CRCs without
+// decoding the frame payloads (fn sees each sequence with nil records)
+// — the cheap scan Open uses to find a shard's last durable sequence.
+//
+// A truncated or CRC-failing tail returns a non-nil *Torn with a nil
+// error: every record before it was delivered, and the caller decides
+// whether a torn tail is routine (crash recovery) or fatal. An error
+// is returned only for corruption a torn write cannot explain — a
+// record whose CRC verifies but whose contents do not parse — or when
+// fn fails.
+func DecodeSegment(data []byte, dec *wire.Decoder, fn func(seq uint64, recs []record.ViewRecord) error) (*Torn, error) {
+	off := int64(0)
+	for int64(len(data))-off > 0 {
+		rest := data[off:]
+		if len(rest) < recordHeaderBytes {
+			return &Torn{Off: off, Reason: "partial header"}, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest))
+		if n > MaxRecordBytes {
+			// A garbage length field cannot be CRC-checked; it reads as
+			// a torn write, which on the final record it always is.
+			return &Torn{Off: off, Reason: "oversized length"}, nil
+		}
+		if n == 0 {
+			// The appender never writes an empty body (every record
+			// holds a sequence and a frame), but a zero-filled tail —
+			// preallocated blocks a crash left unwritten — decodes as
+			// one, and its CRC check passes vacuously. Torn, not valid.
+			return &Torn{Off: off, Reason: "zero length"}, nil
+		}
+		if int64(len(rest))-recordHeaderBytes < n {
+			return &Torn{Off: off, Reason: "partial body"}, nil
+		}
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		body := rest[recordHeaderBytes : recordHeaderBytes+n]
+		if crc32.Checksum(body, castagnoli) != sum {
+			return &Torn{Off: off, Reason: "crc mismatch"}, nil
+		}
+		seq, sn := binary.Uvarint(body)
+		if sn <= 0 {
+			// The CRC verified, so these are the bytes the appender
+			// wrote — corruption a torn write cannot explain.
+			return nil, fmt.Errorf("wal: record at offset %d: bad sequence varint", off)
+		}
+		var recs []record.ViewRecord
+		if dec != nil {
+			var err error
+			if recs, err = dec.DecodeAll(bytes.NewReader(body[sn:])); err != nil {
+				return nil, fmt.Errorf("wal: record seq %d at offset %d: %w", seq, off, err)
+			}
+		}
+		if fn != nil {
+			if err := fn(seq, recs); err != nil {
+				return nil, err
+			}
+		}
+		off += recordHeaderBytes + n
+	}
+	return nil, nil
+}
+
+// appendRecord appends one framed record (header, CRC, sequence,
+// frames) for recs to dst and returns the extended slice. enc's
+// scratch is reused across calls.
+//
+//vmp:hotpath
+func appendRecord(dst []byte, enc *wire.Encoder, seq uint64, recs []record.ViewRecord) ([]byte, error) {
+	base := len(dst)
+	var hdr [recordHeaderBytes]byte
+	dst = append(dst, hdr[:]...)
+	dst = binary.AppendUvarint(dst, seq)
+	dst, err := enc.AppendFrame(dst, recs)
+	if err != nil {
+		return dst[:base], err
+	}
+	body := dst[base+recordHeaderBytes:]
+	binary.LittleEndian.PutUint32(dst[base:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[base+4:], crc32.Checksum(body, castagnoli))
+	return dst, nil
+}

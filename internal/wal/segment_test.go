@@ -1,0 +1,335 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"vmp/internal/obs"
+	"vmp/internal/telemetry/record"
+	"vmp/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files and fuzz seed corpus")
+
+// buildSegment encodes batches as consecutive segment records with
+// sequences 1..len(batches) — the raw bytes a shard file would hold.
+func buildSegment(t testing.TB, batches [][]record.ViewRecord) []byte {
+	t.Helper()
+	enc := wire.NewEncoder()
+	var data []byte
+	for i, b := range batches {
+		var err error
+		if data, err = appendRecord(data, enc, uint64(i+1), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return data
+}
+
+// decodeCount runs DecodeSegment and returns how many records were
+// delivered and the torn tail, failing on hard errors.
+func decodeCount(t *testing.T, data []byte) (int, *Torn) {
+	t.Helper()
+	n := 0
+	torn, err := DecodeSegment(data, wire.NewDecoder(), func(seq uint64, recs []record.ViewRecord) error {
+		n += len(recs)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DecodeSegment: %v", err)
+	}
+	return n, torn
+}
+
+func TestDecodeSegmentDamageMatrix(t *testing.T) {
+	recs := genRecords(30)
+	data := buildSegment(t, [][]record.ViewRecord{recs[:10], recs[10:20], recs[20:]})
+	intactN, torn := decodeCount(t, data)
+	if torn != nil || intactN != 30 {
+		t.Fatalf("intact segment: %d records, torn %v", intactN, torn)
+	}
+	// The offset of the final record, for prefix assertions.
+	var offsets []int64
+	off := int64(0)
+	for off < int64(len(data)) {
+		offsets = append(offsets, off)
+		off += recordHeaderBytes + int64(binary.LittleEndian.Uint32(data[off:]))
+	}
+	lastOff := offsets[len(offsets)-1]
+
+	damage := []struct {
+		name   string
+		mutate func([]byte) []byte
+		reason string
+		prefix int // records still delivered
+	}{
+		{"truncated header", func(b []byte) []byte { return b[:lastOff+3] }, "partial header", 20},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-5] }, "partial body", 20},
+		{"corrupt crc", func(b []byte) []byte { b[len(b)-3] ^= 0x40; return b }, "crc mismatch", 20},
+		{"oversized length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[lastOff:], uint32(MaxRecordBytes+1))
+			return b
+		}, "oversized length", 20},
+		{"zeroed tail", func(b []byte) []byte {
+			for i := lastOff; i < int64(len(b)); i++ {
+				b[i] = 0
+			}
+			return b
+		}, "zero length", 20},
+	}
+	for _, d := range damage {
+		t.Run(d.name, func(t *testing.T) {
+			b := d.mutate(append([]byte(nil), data...))
+			n, torn := decodeCount(t, b)
+			if torn == nil {
+				t.Fatal("damage not detected")
+			}
+			if torn.Reason != d.reason {
+				t.Fatalf("reason = %q, want %q", torn.Reason, d.reason)
+			}
+			if torn.Off != lastOff {
+				t.Fatalf("torn offset = %d, want %d", torn.Off, lastOff)
+			}
+			if n != d.prefix {
+				t.Fatalf("delivered %d records before the tear, want %d", n, d.prefix)
+			}
+		})
+	}
+}
+
+func TestDecodeSegmentCRCValidCorruptionIsHardError(t *testing.T) {
+	// A record whose CRC verifies but whose body does not parse cannot
+	// be a torn write — the appender never produced it — so it must be
+	// a hard error, not a clean stop.
+	body := bytes.Repeat([]byte{0x80}, 12) // unterminated varint: bad sequence
+	data := make([]byte, recordHeaderBytes+len(body))
+	binary.LittleEndian.PutUint32(data, uint32(len(body)))
+	binary.LittleEndian.PutUint32(data[4:], crc32.Checksum(body, castagnoli))
+	copy(data[recordHeaderBytes:], body)
+	if _, err := DecodeSegment(data, wire.NewDecoder(), nil); err == nil {
+		t.Fatal("bad sequence varint under a valid CRC was not a hard error")
+	}
+
+	// Same for a valid sequence followed by an undecodable frame.
+	body = binary.AppendUvarint(nil, 7)
+	body = append(body, []byte{4, 0, 0, 0, 'X', 'X', 9, 9}...)
+	data = make([]byte, recordHeaderBytes+len(body))
+	binary.LittleEndian.PutUint32(data, uint32(len(body)))
+	binary.LittleEndian.PutUint32(data[4:], crc32.Checksum(body, castagnoli))
+	copy(data[recordHeaderBytes:], body)
+	if _, err := DecodeSegment(data, wire.NewDecoder(), nil); err == nil {
+		t.Fatal("undecodable frame under a valid CRC was not a hard error")
+	}
+}
+
+// TestGoldenSegment pins the on-disk record format: the checked-in
+// segment must keep decoding, and today's encoder must keep producing
+// exactly those bytes. If this fails, the format changed — which needs
+// a version bump and migration thinking, not a golden refresh.
+func TestGoldenSegment(t *testing.T) {
+	recs := genRecords(12)
+	data := buildSegment(t, [][]record.ViewRecord{recs[:5], recs[5:]})
+	path := filepath.Join("testdata", "golden.segment")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("segment encoding changed: %d bytes now vs %d golden", len(data), len(want))
+	}
+	n, torn := decodeCount(t, want)
+	if torn != nil || n != 12 {
+		t.Fatalf("golden segment decodes to %d records, torn %v", n, torn)
+	}
+}
+
+// TestGoldenCorruptSegment is the corrupt-segment golden test: a
+// checked-in segment with a damaged final record must decode to
+// exactly the undamaged prefix with the pinned torn classification.
+func TestGoldenCorruptSegment(t *testing.T) {
+	path := filepath.Join("testdata", "corrupt.segment")
+	if *update {
+		recs := genRecords(12)
+		data := buildSegment(t, [][]record.ViewRecord{recs[:5], recs[5:]})
+		data[len(data)-3] ^= 0x40 // CRC-breaking flip inside the final body
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	n, torn := decodeCount(t, data)
+	if torn == nil || torn.Reason != "crc mismatch" {
+		t.Fatalf("torn = %+v, want crc mismatch", torn)
+	}
+	if n != 5 {
+		t.Fatalf("delivered %d records from the corrupt segment, want the 5-record prefix", n)
+	}
+}
+
+func TestTornTailRecoveredOnOpen(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(t *testing.T, path string)
+	}{
+		{"truncated write", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()-5); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"corrupt crc", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-3] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := openLog(t, dir, Options{Shards: 1, Policy: PolicyBatch})
+			recs := genRecords(300)
+			for lo := 0; lo < 300; lo += 100 {
+				if err := l.AppendBatch([][]record.ViewRecord{recs[lo : lo+100]}, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			segs := segmentFiles(t, dir)
+			if len(segs) != 1 {
+				t.Fatalf("segments = %v", segs)
+			}
+			tc.mutate(t, segs[0])
+
+			// Open recovers the tail: the damaged final record is
+			// truncated away, counted, and the log is immediately
+			// appendable again at the right sequence.
+			reg := obs.NewRegistry()
+			l2 := openLog(t, dir, Options{Shards: 1, Policy: PolicyBatch, Metrics: reg})
+			if n := reg.Snapshot().Counters["wal_torn_tail_total"]; n != 1 {
+				t.Fatalf("wal_torn_tail_total = %d, want 1", n)
+			}
+			if got := l2.Bounds(); got[0] != 2 {
+				t.Fatalf("bounds after torn-tail recovery = %v, want [2]", got)
+			}
+			got, stats := replayAll(t, l2)
+			if stats.TornTails != 0 {
+				t.Fatalf("replay saw a torn tail Open should have truncated: %+v", stats)
+			}
+			if !bytes.Equal(canonBytes(t, got), canonBytes(t, recs[:200])) {
+				t.Fatal("replay after recovery is not the durable prefix")
+			}
+			if err := l2.AppendBatch([][]record.ViewRecord{recs[200:]}, 0); err != nil {
+				t.Fatal(err)
+			}
+			got2, _ := replayAll(t, l2)
+			if !bytes.Equal(canonBytes(t, got2), canonBytes(t, recs)) {
+				t.Fatal("append after torn-tail recovery lost records")
+			}
+		})
+	}
+}
+
+func TestReplayCorruptClosedSegmentIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: three appends land in separate files.
+	l := openLog(t, dir, Options{Shards: 1, Policy: PolicyBatch, SegmentBytes: 1})
+	recs := genRecords(300)
+	for lo := 0; lo < 300; lo += 100 {
+		if err := l.AppendBatch([][]record.ViewRecord{recs[lo : lo+100]}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := segmentFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("wanted multiple segments, got %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Corruption below the tail cannot be a crashed append: replay
+	// must refuse rather than silently drop interior records.
+	if _, err := l.Replay(func([]record.ViewRecord) error { return nil }, 0); err == nil {
+		t.Fatal("replay accepted a corrupt non-final segment")
+	}
+}
+
+// writeSeedCorpus regenerates the checked-in fuzz seed corpus when the
+// golden -update flag is set; see FuzzDecodeSegment.
+func TestWriteFuzzSeedCorpus(t *testing.T) {
+	if !*update {
+		t.Skip("run with -update to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeSegment")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"seed-truncated-record": truncatedSeed(t),
+		"seed-corrupt-crc":      corruptCRCSeed(t),
+		"seed-max-seq-varint":   maxSeqSeed(t),
+	} {
+		content := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func truncatedSeed(t testing.TB) []byte {
+	data := buildSegment(t, [][]record.ViewRecord{genRecords(6)[:3], genRecords(6)[3:]})
+	return data[:len(data)-7]
+}
+
+func corruptCRCSeed(t testing.TB) []byte {
+	data := buildSegment(t, [][]record.ViewRecord{genRecords(4)})
+	data[len(data)-2] ^= 0xff
+	return data
+}
+
+// maxSeqSeed is a well-formed record whose sequence varint is
+// MaxInt64 — the boundary the decoder must take without overflow.
+func maxSeqSeed(t testing.TB) []byte {
+	enc := wire.NewEncoder()
+	var body []byte
+	body = binary.AppendUvarint(body, uint64(1)<<63-1)
+	var err error
+	if body, err = enc.AppendFrame(body, genRecords(2)); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, recordHeaderBytes+len(body))
+	binary.LittleEndian.PutUint32(data, uint32(len(body)))
+	binary.LittleEndian.PutUint32(data[4:], crc32.Checksum(body, castagnoli))
+	copy(data[recordHeaderBytes:], body)
+	return data
+}

@@ -31,6 +31,7 @@ stage lint-report sh -c '"${GO:-go}" run ./cmd/vmplint -json ./... > lint_report
 stage lint-sarif sh -c '"${GO:-go}" run ./cmd/vmplint -sarif ./... > lint_report.sarif; test -s lint_report.sarif'
 stage race      make race
 stage smoke     make smoke
+stage smoke-crash make smoke-crash
 # bench-wire-report materializes the wire-path benchmark numbers as a
 # CI artifact: codec encode/decode, JSONL scan, and the HTTP loopback
 # ingest variants that back BENCH_live_ingest.json. The stage fails
