@@ -25,16 +25,22 @@ vet:
 # lint runs the in-repo analyzer suite (cmd/vmplint): nondeterminism,
 # maporder, frozenwrite, lockdiscipline, errcheck, atomicdiscipline,
 # goroutinelifecycle, chandiscipline, ctxflow, bufalias, hotalloc,
-# httpdiscipline. It must stay clean — these are the machine-checked
-# contracts behind byte-identical figures, the race-free serving plane,
-# and the zero-copy wire path. The second invocation folds test files
+# httpdiscipline, fsyncdiscipline, lockorder. It must stay clean —
+# these are the machine-checked contracts behind byte-identical
+# figures, the race-free serving plane, the zero-copy wire path, and
+# the WAL's crash durability. Analysis is whole-program (per-package
+# summaries flow along the import DAG) and incremental: -cache keys
+# each package on its file contents, its dependencies' summaries, and
+# the lint suite's own sources, so warm runs are subsecond and
+# byte-identical to cold ones. The second invocation folds test files
 # in for the determinism and dataflow analyzers: test expectations must
 # not depend on the wall clock or map iteration order, and test helpers
-# must keep the same buffer-reuse and handler contracts.
+# must keep the same buffer-reuse, handler, durability, and lock-order
+# contracts.
 .PHONY: lint
 lint:
-	$(GO) run ./cmd/vmplint ./...
-	$(GO) run ./cmd/vmplint -tests -only nondeterminism,maporder,bufalias,hotalloc,httpdiscipline ./...
+	$(GO) run ./cmd/vmplint -cache ./...
+	$(GO) run ./cmd/vmplint -cache -tests -only nondeterminism,maporder,bufalias,hotalloc,httpdiscipline,fsyncdiscipline,lockorder ./...
 
 .PHONY: race
 race:
@@ -79,12 +85,15 @@ bench-wal:
 	$(GO) test -run xxx -bench 'BenchmarkWALAppend|BenchmarkWALReplay' -benchmem ./internal/wal/
 	$(GO) test -run xxx -bench BenchmarkHTTPIngestWAL -benchmem ./internal/live/
 
-# bench-lint times a full twelve-analyzer run over the module tree
-# (serial load, parallel analysis) and records it in BENCH_lint.json,
-# so analyzer additions that regress lint latency show up in review.
+# bench-lint times a full fourteen-analyzer run over the module tree
+# twice — cold (parse + type-check + analyze everything) and warm
+# (every package replayed from the content-hash cache) — and records
+# both in BENCH_lint.json, so analyzer additions that regress lint
+# latency and cache regressions that erode the warm path both show up
+# in review.
 .PHONY: bench-lint
 bench-lint:
-	$(GO) test -run xxx -bench BenchmarkLintTree -benchtime 3x ./internal/lint/
+	$(GO) test -run xxx -bench 'BenchmarkLintTree$$|BenchmarkLintTreeWarm' -benchtime 3x ./internal/lint/
 
 # smoke boots the live serving plane end to end: vmpd ingests a vmpgen
 # slice over HTTP and must answer queries byte-identically to vmpstudy

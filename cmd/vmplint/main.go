@@ -1,10 +1,11 @@
 // Command vmplint runs the project's invariant analyzers (package
 // internal/lint) over one or more packages: nondeterminism, maporder,
 // frozenwrite, lockdiscipline, errcheck, atomicdiscipline,
-// goroutinelifecycle, chandiscipline, ctxflow, bufalias, hotalloc, and
-// httpdiscipline — the machine-checked contracts behind byte-identical
-// figure rendering, the race-free serving plane, and the zero-copy
-// wire path.
+// goroutinelifecycle, chandiscipline, ctxflow, bufalias, hotalloc,
+// httpdiscipline, fsyncdiscipline, and lockorder — the machine-checked
+// contracts behind byte-identical figure rendering, the race-free
+// serving plane, the zero-copy wire path, and the WAL's crash
+// durability.
 //
 // Usage:
 //
@@ -12,13 +13,25 @@
 //	vmplint ./internal/analytics  # one package
 //	vmplint -json ./...           # machine-readable findings
 //	vmplint -sarif ./...          # SARIF 2.1.0 for code-scanning UIs
+//	vmplint -cache -stats ./...   # incremental run + run report
+//	vmplint -json-out lint_report.json -sarif-out lint_report.sarif ./...
 //	vmplint -maporder=false ./... # disable one analyzer
 //	vmplint -only nondeterminism,maporder -tests ./...
 //
-// Packages load serially (the loader shares a type-checker cache) and
-// are then analyzed in parallel across GOMAXPROCS workers; findings
-// come out path-sorted, so the output is deterministic regardless of
-// scheduling.
+// Analysis is whole-program: each package publishes a summary of its
+// exported functions (taint, allocation, lifecycle, and lock-order
+// facts), and dependents consume those summaries while the run walks
+// the import DAG — so a helper in another package no longer launders
+// a frozen-dataset alias. With -cache, per-package results are stored
+// under a content hash covering the package's files, its dependencies'
+// summaries, and the lint suite's own sources; warm runs replay hits
+// without parsing or type-checking and are byte-identical to cold runs
+// by construction.
+//
+// -json-out and -sarif-out write those formats to files in the same
+// run that prints the console (or -json/-sarif) report to stdout, so
+// CI needs one vmplint invocation instead of three. -stats prints a
+// per-analyzer finding tally and per-package wall time to stderr.
 //
 // Exit status is 0 when clean, 1 when findings were reported, and 2
 // on usage or load errors. Findings are suppressed one line at a time
@@ -34,9 +47,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"vmp/internal/lint"
+	"vmp/internal/simclock"
 )
 
 func main() {
@@ -46,6 +61,11 @@ func main() {
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	jsonFile := flag.String("json-out", "", "also write the JSON report to `file`")
+	sarifFile := flag.String("sarif-out", "", "also write the SARIF report to `file`")
+	useCache := flag.Bool("cache", false, "reuse per-package results keyed by content hash (see -cache-dir)")
+	cacheDir := flag.String("cache-dir", "", "cache directory (default <module root>/.vmplint-cache)")
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and per-package wall time to stderr")
 	withTests := flag.Bool("tests", false, "lint _test.go files too (in-package and external test packages)")
 	only := flag.String("only", "", "comma-separated list of analyzers to run, e.g. nondeterminism,maporder (overrides per-analyzer flags)")
 	enabled := make(map[string]*bool)
@@ -96,54 +116,61 @@ func run() int {
 		return 2
 	}
 
-	loader, err := lint.NewLoader(root)
+	opts := lint.TreeOptions{
+		Analyzers: analyzers,
+		Tests:     *withTests,
+		Clock:     simclock.Wall(),
+	}
+	if *useCache {
+		opts.CacheDir = *cacheDir
+		if opts.CacheDir == "" {
+			opts.CacheDir = filepath.Join(root, ".vmplint-cache")
+		}
+	}
+	diags, runStats, err := lint.RunTree(root, dirs, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmplint:", err)
 		return 2
 	}
-	// Load everything first — the loader is single-threaded — then fan
-	// the analysis out across GOMAXPROCS workers; RunPackages sorts the
-	// merged findings by path, so output order is deterministic.
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		if *withTests {
-			var loaded []*lint.Package
-			loaded, err = loader.LoadDirTests(dir)
-			pkgs = append(pkgs, loaded...)
-		} else {
-			var pkg *lint.Package
-			pkg, err = loader.LoadDir(dir)
-			if pkg != nil {
-				pkgs = append(pkgs, pkg)
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vmplint:", err)
-			return 2
-		}
-	}
-	diags := lint.RunPackages(pkgs, analyzers)
 	for i := range diags {
 		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].File = rel
 		}
 	}
 
+	// Render every requested format from the same findings slice: the
+	// bytes written to -json-out/-sarif-out are exactly the bytes the
+	// matching stdout mode would print (plus the trailing newline), so
+	// `vmplint -json ./... | cmp - lint_report.json` is a valid
+	// cache-poisoning guard.
+	jsonBlob, err := lint.JSON(diags)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		return 2
+	}
+	sarifBlob, err := lint.SARIF(diags, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmplint:", err)
+		return 2
+	}
+	if *jsonFile != "" {
+		if err := os.WriteFile(*jsonFile, append(jsonBlob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vmplint:", err)
+			return 2
+		}
+	}
+	if *sarifFile != "" {
+		if err := os.WriteFile(*sarifFile, append(sarifBlob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vmplint:", err)
+			return 2
+		}
+	}
+
 	switch {
 	case *sarifOut:
-		out, err := lint.SARIF(diags, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vmplint:", err)
-			return 2
-		}
-		fmt.Println(string(out))
+		fmt.Println(string(sarifBlob))
 	case *jsonOut:
-		out, err := lint.JSON(diags)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vmplint:", err)
-			return 2
-		}
-		fmt.Println(string(out))
+		fmt.Println(string(jsonBlob))
 	default:
 		for _, d := range diags {
 			fmt.Println(d)
@@ -152,10 +179,38 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "vmplint: %d finding(s)\n", len(diags))
 		}
 	}
+	if *stats {
+		printStats(runStats)
+	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// printStats renders the run report to stderr: per-analyzer finding
+// counts, then per-package wall time with cache disposition, slowest
+// first.
+func printStats(s *lint.RunStats) {
+	fmt.Fprintf(os.Stderr, "vmplint: %d package(s): %d analyzed, %d from cache, %.0fms total\n",
+		len(s.Packages), s.Analyzed, s.Cached, s.TotalMillis)
+	names := make([]string, 0, len(s.Findings))
+	for name := range s.Findings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "  %-20s %d finding(s)\n", name, s.Findings[name])
+	}
+	pkgs := append([]lint.PackageStat(nil), s.Packages...)
+	sort.SliceStable(pkgs, func(i, j int) bool { return pkgs[i].Millis > pkgs[j].Millis })
+	for _, p := range pkgs {
+		disposition := "analyzed"
+		if p.Cached {
+			disposition = "cached"
+		}
+		fmt.Fprintf(os.Stderr, "  %8.1fms  %-8s %s\n", p.Millis, disposition, p.Path)
+	}
 }
 
 // findModuleRoot walks up from the working directory to the nearest

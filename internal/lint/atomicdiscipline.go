@@ -156,7 +156,7 @@ func (p *Pass) addressedVar(e ast.Expr) types.Object {
 // results go through the taint engine; writes after Store are a
 // source-position scan within each body.
 func (p *Pass) checkPublishedMutation() {
-	eng := p.newTaintEngine(p.isAtomicPointerLoad, true)
+	eng := p.atomicEngine()
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

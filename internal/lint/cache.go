@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// The incremental cache stores, per analyzed tree node, the node's
+// published summary (summaries — the merged-tests node can carry two)
+// and its findings, keyed by a content hash that covers everything the
+// result can depend on: the suite fingerprint (analyzer set, flags,
+// and the lint engine's own sources — see suiteSalt in tree.go), the
+// node's file contents, and its dependencies' summary hashes. Keys are
+// exact: a hit is byte-identical to re-analysis by construction, and
+// anything else — torn file, schema bump, hand-edited entry — fails
+// decode or key validation and degrades to a miss.
+//
+// Entries are flat <key>.json files written with a plain os.WriteFile,
+// deliberately not the tmp+fsync+rename protocol fsyncdiscipline
+// enforces on durability paths: a cache is a throwaway accelerator,
+// a torn write is detected and re-analyzed, and syncing every entry
+// would cost more than the cache saves.
+
+// cacheSchema versions the entry encoding; bump on any change to the
+// entry shape or meaning.
+const cacheSchema = "vmplint-cache-v1"
+
+// cacheEntry is one cached node result.
+type cacheEntry struct {
+	Schema    string            `json:"schema"`
+	Key       string            `json:"key"`
+	Summaries []*PackageSummary `json:"summaries,omitempty"`
+	Findings  []Diagnostic      `json:"findings,omitempty"`
+}
+
+// Cache is a content-addressed store of per-package lint results.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// get returns the entry for key, or nil on any miss (absent, torn,
+// foreign schema, or key mismatch).
+func (c *Cache) get(key string) *cacheEntry {
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(blob, &e); err != nil {
+		return nil
+	}
+	if e.Schema != cacheSchema || e.Key != key {
+		return nil
+	}
+	return &e
+}
+
+// put stores an entry; failures are swallowed (a read-only cache
+// directory degrades to cold runs, it does not fail the lint).
+func (c *Cache) put(key string, summaries []*PackageSummary, findings []Diagnostic) {
+	blob, err := json.Marshal(cacheEntry{
+		Schema:    cacheSchema,
+		Key:       key,
+		Summaries: summaries,
+		Findings:  findings,
+	})
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(c.path(key), blob, 0o644)
+}

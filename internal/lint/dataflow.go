@@ -52,6 +52,18 @@ type callGraph struct {
 	scratch   map[types.Object]bool   // scratch slice fields (annotated or inferred)
 	allocOK   map[string]map[int]bool // file -> line carrying //vmp:alloc <reason>
 	malformed []Diagnostic            // reasonless //vmp:alloc directives
+
+	// Whole-program fact layers, built lazily and idempotently on top of
+	// the graph (see summary.go) and shared between the summary builder
+	// and the analyzers so neither recomputes the other's fixed points.
+	frozenEng   *taintEngine                      // frozen-dataset taint (frozenwrite)
+	atomicEng   *taintEngine                      // atomic-publication taint (atomicdiscipline)
+	allocDirect map[types.Object][]allocSite      // unapproved direct allocations per function
+	allocCross  map[types.Object][]crossAllocSite // calls to allocating cross-package deps
+	mayAlloc    map[types.Object]bool             // transitive may-allocate fixed point
+	lockSets    map[types.Object][]string         // transitive lock classes acquired, sorted
+	lockEdges   []LockEdge                        // lock-order edges observed in this package
+	walReach    map[types.Object]bool             // transitively reaches a WAL AppendBatch
 }
 
 // graph returns the package call graph, building it lazily so passes

@@ -41,7 +41,7 @@ func runFrozenWrite(p *Pass) {
 	if p.Path == telemetryPath || strings.HasPrefix(p.Path, telemetryPath+"/") {
 		return
 	}
-	eng := p.newTaintEngine(p.isFrozenAccessor, false)
+	eng := p.frozenEngine()
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

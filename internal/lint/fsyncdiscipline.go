@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FsyncDiscipline machine-checks the two durability orderings the WAL
+// introduced (DESIGN §11):
+//
+//  1. Atomic replace: a file written via a temp path and renamed into
+//     place must be fsynced before the rename — os.WriteFile followed
+//     by os.Rename is flagged (WriteFile never syncs), and an
+//     os.Create/os.OpenFile handle must see a Sync call before its
+//     path is renamed — and the rename must be followed by a directory
+//     fsync (a Sync on an *os.File opened after the rename), or the
+//     rename itself can vanish in a crash.
+//  2. Ack after append: a handler body must not write an HTTP 202
+//     (StatusAccepted) before the call that reaches the WAL append —
+//     an ack the log has not seen is a record a crash can lose.
+//     Append reachability is transitive through same-package helpers
+//     and cross-package summaries (summary.go).
+//
+// Both checks are per function body, source order, function literals
+// analyzed as their own bodies — the temp-write/rename pairs and the
+// ack/append pairs this analyzer exists for live inside one function
+// (wal.writeFileDurable, a handler closure), and a cross-function
+// pairing would be guesswork.
+var FsyncDiscipline = &Analyzer{
+	Name: "fsyncdiscipline",
+	Doc:  "require fsync before rename (and a directory fsync after) and WAL append before HTTP 202",
+	Run:  runFsyncDiscipline,
+}
+
+func runFsyncDiscipline(p *Pass) {
+	if !strings.HasPrefix(p.Path, "vmp/internal/") && !strings.HasPrefix(p.Path, "vmp/cmd/") {
+		return
+	}
+	p.ensureWALFacts()
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.checkFsyncBody(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					p.checkFsyncBody(lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fsyncWrite records how a path came to hold unflushed data: an
+// os.WriteFile (handle == nil, unsyncable by construction) or a
+// write handle opened on it.
+type fsyncWrite struct {
+	pos    token.Pos
+	handle types.Object // the *os.File variable, nil for os.WriteFile
+}
+
+// checkFsyncBody runs both orderings over one body, shallowly — nested
+// function literals are separate bodies with their own orderings.
+func (p *Pass) checkFsyncBody(body *ast.BlockStmt) {
+	written := make(map[types.Object]*fsyncWrite) // path root -> pending write
+	syncs := make(map[types.Object][]token.Pos)   // handle -> Sync positions
+	var allSyncs []token.Pos                      // every *os.File Sync, any handle
+	type renameAt struct {
+		pos token.Pos
+		src types.Object
+	}
+	var renames []renameAt
+	var ackPos, appendPos token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if v.Body == body {
+				return true // the body under analysis itself
+			}
+			return false
+		case *ast.AssignStmt:
+			// f, err := os.Create(path) / os.OpenFile(path, ...): bind
+			// the handle to the path it writes.
+			if len(v.Rhs) != 1 || len(v.Lhs) == 0 {
+				return true
+			}
+			call, ok := v.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := p.pkgFunc(call, "os")
+			if !ok || (name != "Create" && name != "OpenFile") {
+				return true
+			}
+			handleID, ok := v.Lhs[0].(*ast.Ident)
+			if !ok || handleID.Name == "_" {
+				return true
+			}
+			handle := p.objectOf(handleID)
+			if pathRoot := p.rootIdentObject(call.Args[0]); pathRoot != nil && handle != nil {
+				written[pathRoot] = &fsyncWrite{pos: call.Pos(), handle: handle}
+			}
+		case *ast.CallExpr:
+			if name, ok := p.pkgFunc(v, "os"); ok {
+				switch name {
+				case "WriteFile":
+					if len(v.Args) > 0 {
+						if pathRoot := p.rootIdentObject(v.Args[0]); pathRoot != nil {
+							written[pathRoot] = &fsyncWrite{pos: v.Pos()}
+						}
+					}
+				case "Rename":
+					if len(v.Args) > 0 {
+						if pathRoot := p.rootIdentObject(v.Args[0]); pathRoot != nil {
+							renames = append(renames, renameAt{pos: v.Pos(), src: pathRoot})
+						}
+					}
+				}
+				return true
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(v.Args) == 0 {
+				if t := p.Info.TypeOf(sel.X); t != nil && isOSFile(t) {
+					allSyncs = append(allSyncs, v.Pos())
+					if obj := p.rootIdentObject(sel.X); obj != nil {
+						syncs[obj] = append(syncs[obj], v.Pos())
+					}
+				}
+				return true
+			}
+			if p.isAcceptedWriteHeader(v) {
+				if ackPos == token.NoPos {
+					ackPos = v.Pos()
+				}
+				return true
+			}
+			if appendPos == token.NoPos && p.reachesWALAppend(v) {
+				appendPos = v.Pos()
+			}
+		}
+		return true
+	})
+	for _, r := range renames {
+		w := written[r.src]
+		if w == nil || w.pos > r.pos {
+			continue // not a path this body wrote beforehand
+		}
+		if w.handle == nil {
+			p.Reportf(r.pos,
+				"file written with os.WriteFile is renamed into place without an fsync; open the temp file, write, Sync, Close, then os.Rename (DESIGN §11 atomic-replace protocol)")
+			continue
+		}
+		syncedBefore := false
+		for _, sp := range syncs[w.handle] {
+			if sp > w.pos && sp < r.pos {
+				syncedBefore = true
+				break
+			}
+		}
+		if !syncedBefore {
+			p.Reportf(r.pos,
+				"temp file is renamed into place before its handle is fsynced; call Sync on the file before os.Rename (DESIGN §11 atomic-replace protocol)")
+			continue
+		}
+		// The content made it down; the rename itself needs a directory
+		// fsync after it (any *os.File Sync past the rename — the
+		// protocol opens the directory and syncs that handle).
+		dirSynced := false
+		for _, sp := range allSyncs {
+			if sp > r.pos {
+				dirSynced = true
+				break
+			}
+		}
+		if !dirSynced {
+			p.Reportf(r.pos,
+				"rename into place is not followed by a directory fsync; open the directory and Sync it so the rename itself survives a crash (DESIGN §11 atomic-replace protocol)")
+		}
+	}
+	if ackPos != token.NoPos && appendPos != token.NoPos && ackPos < appendPos {
+		p.Reportf(appendPos,
+			"WAL append happens after the HTTP 202 was already written; append (and sync per policy) before acking, or a crash loses a batch the client believes durable")
+	}
+}
+
+// isAcceptedWriteHeader reports whether call is WriteHeader with a
+// constant argument equal to 202 (http.StatusAccepted).
+func (p *Pass) isAcceptedWriteHeader(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	code, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && code == 202
+}
+
+// reachesWALAppend reports whether a call (transitively) reaches a WAL
+// AppendBatch: the append itself, a same-package helper summarized as
+// reaching it, or a cross-package callee whose WALAppend fact is set.
+func (p *Pass) reachesWALAppend(call *ast.CallExpr) bool {
+	callee := p.calleeObject(call)
+	if callee == nil {
+		return false
+	}
+	if isWALAppend(callee) {
+		return true
+	}
+	if p.graph().walReach[callee] {
+		return true
+	}
+	f, ok := p.depFacts(callee)
+	return ok && f.WALAppend
+}
+
+// rootIdentObject unwraps parentheses and string concatenation
+// (path + ".tmp") to the leftmost identifier's object — the variable a
+// path or handle expression is rooted in.
+func (p *Pass) rootIdentObject(e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.BinaryExpr:
+			if v.Op != token.ADD {
+				return nil
+			}
+			e = v.X
+		case *ast.Ident:
+			return p.objectOf(v)
+		default:
+			return nil
+		}
+	}
+}
+
+// isOSFile reports whether t is *os.File (or os.File).
+func isOSFile(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "os" && obj.Name() == "File"
+}

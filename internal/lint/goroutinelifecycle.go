@@ -20,7 +20,9 @@ import (
 //     it;
 //   - a sync.WaitGroup.Done call, tying the goroutine into an owner's
 //     Wait;
-//   - for cross-package callees whose body is not visible: a
+//   - for cross-package callees whose body is not visible: the
+//     callee's published lifecycle summary (it does not loop, or loops
+//     with one of the constructs above — see summary.go), or a
 //     context.Context argument threaded into the call.
 //
 // Goroutine bodies with no loop at all run to completion on their own
@@ -78,8 +80,15 @@ func (p *Pass) checkGoStmt(gs *ast.GoStmt, decls map[types.Object]*ast.BlockStmt
 		}
 	}
 	if body == nil {
-		// Cross-package callee: the only visible tie is a context
-		// argument threaded into the call.
+		// Cross-package callee: consult its published lifecycle facts
+		// first (summary.go) — a callee that does not loop, or loops
+		// with a recognized shutdown construct, is exonerated exactly
+		// as a visible body would be. Facts only ever exonerate: with
+		// no summary the check falls back to requiring a context
+		// argument, the same rule as before.
+		if f, ok := p.depFacts(p.calleeObject(gs.Call)); ok && (!f.Loops || f.Shutdown) {
+			return
+		}
 		if p.callPassesContext(gs.Call) {
 			return
 		}

@@ -34,8 +34,10 @@ import (
 // a fixed point: a hotpath function calling a helper that (transitively)
 // allocates is flagged at the call site, unless the helper is itself
 // //vmp:hotpath (then its own body is checked directly, and the
-// approvals live there). Cross-package calls are trusted — annotate
-// the callee in its own package.
+// approvals live there). Cross-package calls consult the callee's
+// published summary (summary.go): a call into a dependency whose
+// Allocates fact is set — and which is not itself //vmp:hotpath,
+// policed by its own package — is flagged at the call site too.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "forbid unapproved allocating constructs in //vmp:hotpath functions",
@@ -50,43 +52,23 @@ func runHotAlloc(p *Pass) {
 	if len(g.hotpath) == 0 {
 		return
 	}
-	// Direct allocation sites per function, approvals already applied.
-	direct := make(map[types.Object][]allocSite)
-	for _, n := range g.nodes {
-		if n.decl.Body == nil {
-			continue
-		}
-		direct[n.obj] = p.allocSites(n.decl.Body, g)
-	}
-	// Fixed point over the call graph: mayAlloc[f] when f has an
-	// unapproved direct site or calls a same-package function that
-	// does. Monotone, so the worklist terminates and the result is
-	// order-independent.
-	may := make(map[types.Object]bool)
-	var queue []*funcNode
-	for _, n := range g.nodes {
-		if len(direct[n.obj]) > 0 {
-			may[n.obj] = true
-			queue = append(queue, n)
-		}
-	}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		for _, caller := range g.callers[n.obj] {
-			if !may[caller.obj] {
-				may[caller.obj] = true
-				queue = append(queue, caller)
-			}
-		}
-	}
+	// Direct sites, cross-package allocating calls, and the transitive
+	// may-allocate fixed point are the shared fact layer computed once
+	// per call graph (summary.go) — the summary builder publishes them,
+	// this analyzer reports them.
+	p.ensureAllocFacts()
 	for _, n := range g.nodes {
 		if !g.hotpath[n.obj] || n.decl.Body == nil {
 			continue
 		}
-		for _, site := range direct[n.obj] {
+		for _, site := range g.allocDirect[n.obj] {
 			p.Reportf(site.pos,
 				"%s allocates on a //vmp:hotpath path; hoist it off the hot path or approve it with //vmp:alloc <reason>", site.what)
+		}
+		for _, site := range g.allocCross[n.obj] {
+			p.Reportf(site.pos,
+				"call to %s, which allocates per its package summary, on a //vmp:hotpath path; annotate %s //vmp:hotpath (approving its allocations) or hoist the call",
+				site.name, site.name)
 		}
 		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
 			call, ok := node.(*ast.CallExpr)
@@ -94,7 +76,7 @@ func runHotAlloc(p *Pass) {
 				return true
 			}
 			callee := p.calleeObject(call)
-			if callee == nil || g.hotpath[callee] || !may[callee] {
+			if callee == nil || g.hotpath[callee] || !g.mayAlloc[callee] {
 				return true
 			}
 			if _, declared := g.byObj[callee]; !declared {

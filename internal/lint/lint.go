@@ -1,7 +1,7 @@
 // Package lint is a self-contained static-analysis driver (in the
 // spirit of golang.org/x/tools/go/analysis, but stdlib-only) that
 // machine-checks the invariants the study engine and the live serving
-// plane depend on. Twelve analyzers enforce the contracts that keep
+// plane depend on. Fourteen analyzers enforce the contracts that keep
 // every figure byte-identical across runs, across the serial and
 // parallel render paths, and across the offline and online query
 // paths — and that keep the zero-copy wire path and the zero-alloc
@@ -44,6 +44,20 @@
 //   - httpdiscipline: every HTTP handler path writes its status at
 //     most once, mutates headers only before the first body write,
 //     and returns sync.Pool objects on every path after Get.
+//   - fsyncdiscipline: a file written via a temp path is fsynced
+//     before the rename and its directory fsynced after (the WAL
+//     checkpoint protocol, DESIGN §11), and a handler never writes an
+//     HTTP 202 before the WAL append that makes the ack durable.
+//   - lockorder: mutex classes (type fields, package-level mutexes)
+//     are acquired in one global order; a cycle in the cross-package
+//     acquisition graph is a potential deadlock.
+//
+// The suite is whole-program: packages are analyzed in import-DAG
+// order, each one publishing per-function summaries (taint returns,
+// allocation facts, lifecycle facts, lock-acquisition sets — see
+// summary.go) that dependents consult at cross-package call sites, so
+// the fixed-point engines keep their in-package precision through
+// exported helper chains.
 //
 // Findings can be suppressed, one line at a time, with a directive
 // comment carrying an explicit reason:
@@ -62,11 +76,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 )
 
 // Analyzer is one named invariant check.
@@ -74,6 +85,13 @@ type Analyzer struct {
 	Name string // short lowercase identifier, used in flags and ignore directives
 	Doc  string // one-line contract statement
 	Run  func(*Pass)
+
+	// Finish, when set, runs once after every package has been
+	// analyzed, over the assembled whole-program facts — the hook for
+	// properties no single package can decide (lockorder's global
+	// cycle detection). Its findings are not line-suppressible: they
+	// have no single offending line.
+	Finish func(*Program) []Diagnostic
 }
 
 // Pass carries one analyzer's view of one package.
@@ -92,6 +110,12 @@ type Pass struct {
 	// dataflow.go). Accessed through Pass.graph, which fills it lazily
 	// for passes constructed by hand.
 	cg *callGraph
+
+	// prog is the whole-program fact store: summaries of every
+	// dependency analyzed before this package (nil for passes built by
+	// hand, in which case cross-package facts simply resolve to
+	// nothing and the engines fall back to per-package precision).
+	prog *Program
 }
 
 // Reportf records a finding at pos.
@@ -139,35 +163,19 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		Nondeterminism, MapOrder, FrozenWrite, LockDiscipline, ErrCheck,
 		AtomicDiscipline, GoroutineLifecycle, ChanDiscipline, CtxFlow,
-		BufAlias, HotAlloc, HTTPDiscipline,
+		BufAlias, HotAlloc, HTTPDiscipline, FsyncDiscipline, LockOrder,
 	}
 }
 
-// RunPackage runs the analyzers over one loaded package and returns
-// the surviving diagnostics: sorted, deduplicated, and filtered
-// through //lint:ignore directives.
+// RunPackage runs the analyzers over one loaded package in isolation —
+// a fresh whole-program store holding only this package's own summary —
+// and returns the surviving diagnostics: sorted, deduplicated, and
+// filtered through //lint:ignore directives. For cross-package
+// precision, load dependencies too and use RunPackages (or RunTree).
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	graph := buildCallGraph(pkg.Fset, pkg.Files, pkg.Info)
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Path:     pkg.Path,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			report:   func(d Diagnostic) { diags = append(diags, d) },
-			cg:       graph,
-		}
-		a.Run(pass)
-	}
-	ignores, malformed := collectIgnores(pkg)
-	diags = suppress(diags, ignores)
-	// Malformed directives are findings in their own right — a missing
-	// reason breaks the suite's audit trail — and cannot be suppressed.
-	diags = append(diags, malformed...)
-	diags = append(diags, graph.malformed...)
+	prog := NewProgram()
+	diags, _ := runOnePackage(pkg, prog, analyzers)
+	diags = append(diags, runFinishers(prog, analyzers)...)
 	return sortDedup(diags)
 }
 
@@ -200,41 +208,43 @@ func sortDedup(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// RunPackages runs the analyzers over every loaded package, fanning the
-// packages out across GOMAXPROCS workers, and returns the merged
-// findings sorted by path. Loading must happen before the call — the
-// Loader is not safe for concurrent use — but loaded packages are
-// read-only during analysis (token.FileSet position lookups are
-// internally locked), so analyzing them in parallel is safe. The output
-// is deterministic regardless of scheduling: each package's findings
-// are computed independently (the fixed-point engines are monotone and
-// order-independent) and the merge is globally sorted.
+// RunPackages runs the analyzers over every loaded package in
+// import-DAG order — dependencies first, so each package analyzes with
+// its dependencies' summaries in scope — fanning independent packages
+// out across GOMAXPROCS workers, and returns the merged findings sorted
+// by path. Loading must happen before the call (the Loader is not safe
+// for concurrent use), but loaded packages are read-only during
+// analysis (token.FileSet position lookups are internally locked), so
+// analyzing them in parallel is safe. The output is deterministic
+// regardless of scheduling: the fixed-point engines are monotone and
+// order-independent, the DAG fixes which summaries each package sees,
+// and the merge is globally sorted.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	results := make([][]Diagnostic, len(pkgs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pkgs) {
-		workers = len(pkgs)
+	byPath := make(map[string]int, len(pkgs))
+	for i, pkg := range pkgs {
+		byPath[pkg.Path] = i
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(results) {
-					return
-				}
-				results[i] = RunPackage(pkgs[i], analyzers)
+	deps := make([][]int, len(pkgs))
+	for i, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, imp := range pkg.Types.Imports() {
+			if j, ok := byPath[imp.Path()]; ok && j != i {
+				deps[i] = append(deps[i], j)
 			}
-		}()
+		}
 	}
-	wg.Wait()
+	prog := NewProgram()
+	results := make([][]Diagnostic, len(pkgs))
+	runDAG(deps, func(i int) {
+		results[i], _ = runOnePackage(pkgs[i], prog, analyzers)
+	})
 	var merged []Diagnostic
 	for _, r := range results {
 		merged = append(merged, r...)
 	}
+	merged = append(merged, runFinishers(prog, analyzers)...)
 	return sortDedup(merged)
 }
 

@@ -7,38 +7,53 @@ import (
 	"testing"
 )
 
-// BenchmarkLintTree times one cold twelve-analyzer run over the whole
-// module: loader construction, parsing, type-checking, and every
-// analyzer over every package — the same work `make lint`'s first
-// invocation does, including vmplint's serial-load-then-parallel-
-// analyze split (RunPackages fans packages out across GOMAXPROCS
-// workers). `make bench-lint` runs it; the result is recorded in
-// BENCH_lint.json so analyzer additions that regress lint latency
-// show up in review.
+// BenchmarkLintTree times one cold fourteen-analyzer run over the
+// whole module: loader construction, parsing, type-checking, summary
+// building, and every analyzer over every package — the same work
+// `make lint`'s first uncached invocation does, with RunTree walking
+// the import DAG level by level and fanning each level across
+// GOMAXPROCS workers. `make bench-lint` runs it; the result is
+// recorded in BENCH_lint.json so analyzer additions that regress lint
+// latency show up in review.
 func BenchmarkLintTree(b *testing.B) {
 	dirs := moduleDirs(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		loader, err := NewLoader("../..")
+		diags, _, err := RunTree("../..", dirs, TreeOptions{Analyzers: Analyzers()})
 		if err != nil {
 			b.Fatal(err)
 		}
-		var pkgs []*Package
-		for _, dir := range dirs {
-			pkg, err := loader.LoadDir(dir)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if pkg != nil {
-				pkgs = append(pkgs, pkg)
-			}
-		}
-		if len(pkgs) == 0 {
-			b.Fatal("no packages loaded")
-		}
-		if diags := RunPackages(pkgs, Analyzers()); len(diags) != 0 {
+		if len(diags) != 0 {
 			b.Fatalf("tree is not lint-clean: %s", diags[0])
+		}
+	}
+}
+
+// BenchmarkLintTreeWarm times the same run against a populated cache:
+// every package replays from its content-hash entry, so an op is scan
+// + hash + cache reads — no parsing, no type-checking, no analysis.
+// The cold/warm ratio recorded in BENCH_lint.json is the incremental
+// cache's headline number.
+func BenchmarkLintTreeWarm(b *testing.B) {
+	dirs := moduleDirs(b)
+	cacheDir := b.TempDir()
+	opts := TreeOptions{Analyzers: Analyzers(), CacheDir: cacheDir}
+	if _, _, err := RunTree("../..", dirs, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, stats, err := RunTree("../..", dirs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("tree is not lint-clean: %s", diags[0])
+		}
+		if stats.Analyzed != 0 {
+			b.Fatalf("warm run re-analyzed %d package(s)", stats.Analyzed)
 		}
 	}
 }

@@ -447,6 +447,103 @@ func TestSARIFEmpty(t *testing.T) {
 	}
 }
 
+func TestFsyncDisciplineFixture(t *testing.T) {
+	checkFixture(t, "fsyncdiscipline", "vmp/internal/fsyncfix")
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "lockorder", "vmp/internal/lockorderfix")
+}
+
+// TestV4AnalyzersScopedToModule reloads the v4 fixtures under an
+// external import path; fsyncdiscipline and lockorder police only
+// vmp/internal and vmp/cmd.
+func TestV4AnalyzersScopedToModule(t *testing.T) {
+	for _, dir := range []string{"fsyncdiscipline", "lockorder"} {
+		diags := RunPackage(loadFixture(t, dir, "example.com/outside"), Analyzers())
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding outside vmp/internal and vmp/cmd: %s", dir, d)
+		}
+	}
+}
+
+// crosspkgAlias and crosspkgUse are the real module paths of the
+// cross-package laundering fixture: use imports alias by this path, so
+// the pair loads exactly as tree packages do.
+const (
+	crosspkgAlias = "vmp/internal/lint/testdata/crosspkg/alias"
+	crosspkgUse   = "vmp/internal/lint/testdata/crosspkg/use"
+)
+
+func loadCrossPackagePair(t *testing.T) (*Package, *Package) {
+	t.Helper()
+	loader, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliasPkg, err := loader.LoadDirWithPath(filepath.Join("testdata", "crosspkg", "alias"), crosspkgAlias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usePkg, err := loader.LoadDirWithPath(filepath.Join("testdata", "crosspkg", "use"), crosspkgUse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliasPkg == nil || usePkg == nil {
+		t.Fatal("cross-package fixture did not load")
+	}
+	return aliasPkg, usePkg
+}
+
+// TestCrossPackageLaundering is the tentpole pin: a telemetry accessor
+// and an atomic.Pointer load wrapped by exported helpers in another
+// package no longer launder their taint. Analyzed together along the
+// import DAG, the mutations in use/ are findings; analyzed alone
+// (the pre-summary behavior, and the fallback when dependencies are
+// not in scope), use/ is clean.
+func TestCrossPackageLaundering(t *testing.T) {
+	aliasPkg, usePkg := loadCrossPackagePair(t)
+	diags := RunPackages([]*Package{aliasPkg, usePkg}, Analyzers())
+	wants := collectWants(t, filepath.Join("crosspkg", "use"))
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no %s finding matching %q", w.file, w.line, w.analyzer, w.re)
+		}
+	}
+	if alone := RunPackage(usePkg, Analyzers()); len(alone) != 0 {
+		for _, d := range alone {
+			t.Errorf("use/ analyzed without its dependency's summary should be clean, got: %s", d)
+		}
+	}
+}
+
+// TestPackageSummaryFacts pins the exported-fact surface the tentpole
+// rests on: summaries key functions by their fully qualified name and
+// carry the taint facts dependents consume.
+func TestPackageSummaryFacts(t *testing.T) {
+	aliasPkg, _ := loadCrossPackagePair(t)
+	_, sum := runOnePackage(aliasPkg, NewProgram(), Analyzers())
+	if sum.Path != crosspkgAlias || sum.Hash == "" {
+		t.Fatalf("summary path %q, hash %q", sum.Path, sum.Hash)
+	}
+	records := sum.Funcs[crosspkgAlias+".Records"]
+	if !records.TaintFrozen {
+		t.Errorf("Records facts = %+v, want TaintFrozen", records)
+	}
+	current := sum.Funcs["(*"+crosspkgAlias+".Box).Current"]
+	if !current.TaintAtomic {
+		t.Errorf("Current facts = %+v, want TaintAtomic", current)
+	}
+	if _, ok := sum.Funcs[crosspkgAlias+".rows"]; ok {
+		t.Error("unexported rows should not be published in the summary")
+	}
+}
+
 // TestJSONEmpty pins the clean-run document so CI consumers can rely
 // on findings always being an array.
 func TestJSONEmpty(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -247,6 +248,44 @@ func (l *Loader) LoadDirTests(dir string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// ScanDir reads a directory's build metadata without parsing or
+// type-checking: the build-selected Go file names and the imports they
+// declare (test files and test imports included when tests is set).
+// This is the cheap pass RunTree keys its cache on — content hashes
+// need file names, dependency closure needs imports, and neither needs
+// an AST. Directories with no Go files return (nil, nil, nil); note a
+// directory holding only test files is NOT a NoGoError, so scanning
+// with tests=false still surfaces it with zero files.
+func (l *Loader) ScanDir(dir string, tests bool) (files []string, imports []string, err error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	files = append(files, bp.GoFiles...)
+	seen := make(map[string]bool)
+	add := func(paths []string) {
+		for _, p := range paths {
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	add(bp.Imports)
+	if tests {
+		files = append(files, bp.TestGoFiles...)
+		files = append(files, bp.XTestGoFiles...)
+		add(bp.TestImports)
+		add(bp.XTestImports)
+	}
+	sort.Strings(files)
+	sort.Strings(imports)
+	return files, imports, nil
 }
 
 // LoadDirWithPath loads the package in dir under an explicit import

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the whole-program driver core shared by RunPackage,
+// RunPackages, and the cached RunTree: one canonical per-package code
+// path (build call graph → publish summary → run analyzers → apply
+// ignore directives) and a deterministic parallel scheduler over the
+// import DAG.
+
+// runOnePackage analyzes one package with the program's dependency
+// facts in scope, publishes the package's own summary into the
+// program, and returns its sorted, directive-filtered findings plus
+// the summary. Finishers are the caller's job — they need the whole
+// program assembled first.
+func runOnePackage(pkg *Package, prog *Program, analyzers []*Analyzer) ([]Diagnostic, *PackageSummary) {
+	graph := buildCallGraph(pkg.Fset, pkg.Files, pkg.Info)
+	sum := buildPackageSummary(pkg, prog, graph)
+	prog.add(sum)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+			cg:       graph,
+			prog:     prog,
+		}
+		a.Run(pass)
+	}
+	ignores, malformed := collectIgnores(pkg)
+	diags = suppress(diags, ignores)
+	// Malformed directives are findings in their own right — a missing
+	// reason breaks the suite's audit trail — and cannot be suppressed.
+	diags = append(diags, malformed...)
+	diags = append(diags, graph.malformed...)
+	return sortDedup(diags), sum
+}
+
+// runFinishers runs every analyzer's Finish hook over the assembled
+// whole-program facts.
+func runFinishers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			diags = append(diags, a.Finish(prog)...)
+		}
+	}
+	return diags
+}
+
+// runDAG calls fn(i) for every node of a dependency graph, each node
+// strictly after all of its dependencies (deps[i] lists the indices i
+// depends on): a Kahn pass peels the graph into topological levels,
+// and each level's nodes fan out across GOMAXPROCS workers with a
+// barrier between levels. Import graphs are acyclic by construction,
+// but a cyclic input degrades to running the leftover nodes serially
+// (in index order, dependency facts incomplete) instead of
+// deadlocking.
+func runDAG(deps [][]int, fn func(int)) {
+	n := len(deps)
+	if n == 0 {
+		return
+	}
+	dependents := make([][]int, n)
+	indegree := make([]int, n)
+	for i, ds := range deps {
+		indegree[i] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	scheduled := 0
+	var level []int
+	for i := 0; i < n; i++ {
+		if indegree[i] == 0 {
+			level = append(level, i)
+		}
+	}
+	for len(level) > 0 {
+		runLevel(level, fn)
+		scheduled += len(level)
+		var next []int
+		for _, i := range level {
+			for _, j := range dependents[i] {
+				indegree[j]--
+				if indegree[j] == 0 {
+					next = append(next, j)
+				}
+			}
+		}
+		level = next
+	}
+	if scheduled < n {
+		for i := 0; i < n; i++ {
+			if indegree[i] > 0 {
+				fn(i)
+			}
+		}
+	}
+}
+
+// runLevel runs fn over one level of mutually independent nodes in
+// parallel.
+func runLevel(level []int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(level) {
+		workers = len(level)
+	}
+	if workers <= 1 {
+		for _, i := range level {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(level) {
+					return
+				}
+				fn(level[k])
+			}
+		}()
+	}
+	wg.Wait()
+}

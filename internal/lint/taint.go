@@ -33,6 +33,11 @@ type taintEngine struct {
 	// (analyzer-specific: frozen accessors, atomic pointer loads).
 	source func(*ast.CallExpr) bool
 
+	// cross reports whether a cross-package callee is summarized as
+	// returning tainted memory (see summary.go); nil when the engine
+	// runs without whole-program facts.
+	cross func(types.Object) bool
+
 	// exprSource optionally taints non-call expressions at origin —
 	// bufalias marks selector reads of scratch fields this way.
 	exprSource func(ast.Expr) bool
@@ -45,11 +50,11 @@ type taintEngine struct {
 	summaries map[types.Object]bool
 }
 
-// newTaintEngine builds an engine with a call-shaped source and
-// computes the fixed-point interprocedural summaries for the package
-// under analysis.
-func (p *Pass) newTaintEngine(source func(*ast.CallExpr) bool, propagateRecv bool) *taintEngine {
-	t := &taintEngine{p: p, source: source, propagateRecv: propagateRecv}
+// newTaintEngine builds an engine with a call-shaped source, an
+// optional cross-package fact source, and computes the fixed-point
+// interprocedural summaries for the package under analysis.
+func (p *Pass) newTaintEngine(source func(*ast.CallExpr) bool, cross func(types.Object) bool, propagateRecv bool) *taintEngine {
+	t := &taintEngine{p: p, source: source, cross: cross, propagateRecv: propagateRecv}
 	t.computeSummaries()
 	return t
 }
@@ -260,8 +265,13 @@ func (t *taintEngine) taintedCall(call *ast.CallExpr, tainted map[types.Object]b
 			return t.taintedExpr(call.Args[0], tainted)
 		}
 	}
-	if obj := t.p.calleeObject(call); obj != nil && t.summaries[obj] {
-		return true
+	if obj := t.p.calleeObject(call); obj != nil {
+		if t.summaries[obj] {
+			return true
+		}
+		if t.cross != nil && t.cross(obj) {
+			return true
+		}
 	}
 	if t.propagateRecv {
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {

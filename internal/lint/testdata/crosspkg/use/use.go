@@ -1,0 +1,25 @@
+// Package use consumes alias-wrapped state and mutates it — the
+// cross-package laundering chain the whole-program summaries exist to
+// see through. Analyzed alone (no dependency summaries in scope) this
+// package is clean; analyzed after alias along the import DAG, both
+// writes below are findings.
+package use
+
+import (
+	"vmp/internal/lint/testdata/crosspkg/alias"
+	"vmp/internal/telemetry"
+)
+
+// Rename mutates a frozen dataset view obtained through the two-hop
+// cross-package accessor chain.
+func Rename(d *telemetry.Dataset) {
+	recs := alias.Records(d)
+	recs[0].Publisher = "relabeled" // want frozenwrite "telemetry.Dataset view"
+}
+
+// Reset mutates a generation loaded from an atomic pointer through the
+// cross-package wrapper.
+func Reset(b *alias.Box) {
+	st := b.Current()
+	st.Hits[0] = 0 // want atomicdiscipline "published generations are immutable"
+}

@@ -1,0 +1,77 @@
+// Package lockorderfix exercises the global lock-order analyzer: Grab
+// and Steal acquire the A/B mutex classes in opposite orders (Steal
+// through a helper, so the edge comes from the transitive lock set),
+// which is the deadlock shape lockorder reports; the C/D pair always
+// nests the same way and stays clean.
+package lockorderfix
+
+import "sync"
+
+// A and B are two lock classes with no inherent order.
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+// B is the second class of the inverted pair.
+type B struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Grab nests B under A.
+func Grab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder "lock-order cycle"
+	b.n++
+	b.mu.Unlock()
+	a.n++
+}
+
+// Steal nests A under B — through lockA, so the inversion is only
+// visible in Grab's direction plus Steal's transitive call edge.
+func Steal(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(a) // want lockorder "lock-order cycle"
+	b.n++
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// C and D are consistently ordered: both paths nest D under C.
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+// D is always the inner lock of the clean pair.
+type D struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Feed nests D under C with a deferred outer release.
+func Feed(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.n++
+	d.mu.Unlock()
+	c.n++
+}
+
+// Drain nests D under C with explicit releases.
+func Drain(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	c.n++
+	d.n++
+	d.mu.Unlock()
+	c.mu.Unlock()
+}

@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RunTree is the cached whole-tree entry point behind vmplint: scan
+// the requested directories plus their module-local import closure
+// (header-only, no parsing), schedule the resulting nodes along the
+// import DAG, and for each node either replay a cached result or load,
+// analyze, and cache it. Cache keys cover the suite fingerprint, the
+// node's file contents, and its dependencies' summary hashes, so a hit
+// is byte-identical to re-analysis by construction — and an edit
+// invalidates exactly the edited package plus the dependents whose
+// view of it (its summary) actually changed.
+
+// WallClock is the clock RunTree times packages with. It is satisfied
+// by simclock.Wall() — declared structurally here so the lint engine
+// itself never reads the wall clock (its own nondeterminism analyzer
+// forbids it) and never imports the clock package outside tests.
+type WallClock interface {
+	Now() time.Time
+}
+
+// TreeOptions configures one RunTree invocation.
+type TreeOptions struct {
+	Analyzers []*Analyzer
+	Tests     bool      // include _test.go files and external test packages
+	CacheDir  string    // "" runs uncached
+	Clock     WallClock // nil disables per-package timing in stats
+}
+
+// PackageStat is one node's timing entry.
+type PackageStat struct {
+	Path   string  `json:"path"`
+	Millis float64 `json:"millis"`
+	Cached bool    `json:"cached"`
+}
+
+// RunStats is the -stats surface: where findings came from and where
+// the time went.
+type RunStats struct {
+	Findings    map[string]int `json:"findings"` // per-analyzer finding counts
+	Packages    []PackageStat  `json:"packages"` // sorted by path
+	Cached      int            `json:"cached"`
+	Analyzed    int            `json:"analyzed"`
+	TotalMillis float64        `json:"totalMillis"`
+}
+
+// treeNode is one directory scheduled for analysis: a package plus,
+// under Tests, its merged test variant and external test package.
+type treeNode struct {
+	dir       string
+	path      string
+	requested bool     // findings reported (vs. loaded only for its summary)
+	files     []string // build-selected file names, sorted
+	deps      []string // module-local imports, sorted, self excluded
+	fileHash  string
+}
+
+// RunTree analyzes the packages in dirs (module directories) with the
+// given options and returns the findings for the requested packages —
+// dependency packages pulled in for their summaries do not report —
+// plus run statistics.
+func RunTree(root string, dirs []string, opts TreeOptions) ([]Diagnostic, *RunStats, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	var start time.Time
+	if opts.Clock != nil {
+		start = opts.Clock.Now()
+	}
+	nodes, err := scanTree(loader, dirs, opts.Tests)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cache *Cache
+	if opts.CacheDir != "" {
+		if cache, err = OpenCache(opts.CacheDir); err != nil {
+			return nil, nil, err
+		}
+	}
+	salt, err := suiteSalt(loader, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	index := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		index[n.path] = i
+	}
+	deps := make([][]int, len(nodes))
+	for i, n := range nodes {
+		for _, d := range n.deps {
+			if j, ok := index[d]; ok {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+
+	prog := NewProgram()
+	findings := make([][]Diagnostic, len(nodes))
+	sumHashes := make([]string, len(nodes)) // concatenated summary hashes, post-processing
+	stats := &RunStats{Findings: make(map[string]int), Packages: make([]PackageStat, len(nodes))}
+	errs := make([]error, len(nodes))
+	var loaderMu sync.Mutex // the Loader is not safe for concurrent use
+	var statMu sync.Mutex
+
+	runDAG(deps, func(i int) {
+		n := nodes[i]
+		var nodeStart time.Time
+		if opts.Clock != nil {
+			nodeStart = opts.Clock.Now()
+		}
+		key := nodeKey(salt, n, deps[i], nodes, sumHashes, opts.Tests)
+		cached := false
+		var sums []*PackageSummary
+		if cache != nil {
+			if e := cache.get(key); e != nil {
+				for _, s := range e.Summaries {
+					prog.add(s)
+				}
+				sums = e.Summaries
+				findings[i] = e.Findings
+				cached = true
+			}
+		}
+		if !cached {
+			loaderMu.Lock()
+			pkgs, err := loadNode(loader, n, opts.Tests)
+			loaderMu.Unlock()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var diags []Diagnostic
+			for _, pkg := range pkgs {
+				d, sum := runOnePackage(pkg, prog, opts.Analyzers)
+				diags = append(diags, d...)
+				sums = append(sums, sum)
+			}
+			findings[i] = sortDedup(diags)
+			if cache != nil {
+				cache.put(key, sums, findings[i])
+			}
+		}
+		sumHashes[i] = concatSummaryHashes(sums)
+		statMu.Lock()
+		stats.Packages[i] = PackageStat{Path: n.path, Cached: cached}
+		if opts.Clock != nil {
+			stats.Packages[i].Millis = float64(opts.Clock.Now().Sub(nodeStart)) / float64(time.Millisecond)
+		}
+		if cached {
+			stats.Cached++
+		} else {
+			stats.Analyzed++
+		}
+		statMu.Unlock()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var merged []Diagnostic
+	for i, n := range nodes {
+		if n.requested {
+			merged = append(merged, findings[i]...)
+		}
+	}
+	merged = append(merged, runFinishers(prog, opts.Analyzers)...)
+	merged = sortDedup(merged)
+	for _, d := range merged {
+		stats.Findings[d.Analyzer]++
+	}
+	if opts.Clock != nil {
+		stats.TotalMillis = float64(opts.Clock.Now().Sub(start)) / float64(time.Millisecond)
+	}
+	return merged, stats, nil
+}
+
+// loadNode loads a node's packages: with tests (requested nodes only),
+// the merged-test and external-test shape of LoadDirTests; otherwise
+// the plain package. Dependency nodes always load without tests —
+// dependents import the non-test package.
+func loadNode(l *Loader, n *treeNode, tests bool) ([]*Package, error) {
+	if tests && n.requested {
+		return l.LoadDirTests(n.dir)
+	}
+	pkg, err := l.LoadDirWithPath(n.dir, n.path)
+	if err != nil || pkg == nil {
+		return nil, err
+	}
+	return []*Package{pkg}, nil
+}
+
+// scanTree header-scans the requested directories, then expands the
+// module-local import closure so every dependency becomes a
+// (non-reporting) node whose summary the dependents can consume.
+// Nodes come back sorted by import path.
+func scanTree(l *Loader, dirs []string, tests bool) ([]*treeNode, error) {
+	byPath := make(map[string]*treeNode)
+	var queue []string // import paths pending a dependency scan
+	addDeps := func(n *treeNode, imports []string) {
+		for _, imp := range imports {
+			if imp != l.ModulePath() && !strings.HasPrefix(imp, l.ModulePath()+"/") {
+				continue
+			}
+			if imp == n.path {
+				continue // an external test package imports its own package
+			}
+			n.deps = append(n.deps, imp)
+			if _, ok := byPath[imp]; !ok {
+				byPath[imp] = nil // reserve; scanned below
+				queue = append(queue, imp)
+			}
+		}
+		sort.Strings(n.deps)
+	}
+	for _, dir := range dirs {
+		path, err := l.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		if existing, ok := byPath[path]; ok && existing != nil {
+			existing.requested = true
+			continue
+		}
+		files, imports, err := l.ScanDir(dir, tests)
+		if err != nil {
+			return nil, fmt.Errorf("lint: scanning %s: %w", dir, err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		n := &treeNode{dir: dir, path: path, requested: true, files: files}
+		byPath[path] = n
+		addDeps(n, imports)
+	}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if byPath[path] != nil {
+			continue // already scanned as a requested dir
+		}
+		dir := l.dirFor(path)
+		files, imports, err := l.ScanDir(dir, false)
+		if err != nil {
+			return nil, fmt.Errorf("lint: scanning dependency %s: %w", path, err)
+		}
+		if len(files) == 0 {
+			delete(byPath, path)
+			continue
+		}
+		n := &treeNode{dir: dir, path: path, files: files}
+		byPath[path] = n
+		addDeps(n, imports)
+	}
+	paths := make([]string, 0, len(byPath))
+	for path, n := range byPath {
+		if n != nil {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	nodes := make([]*treeNode, 0, len(paths))
+	for _, path := range paths {
+		n := byPath[path]
+		var err error
+		if n.fileHash, err = hashFiles(n.dir, n.files); err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// hashFiles content-hashes a node's files (names and bytes, sorted
+// order).
+func hashFiles(dir string, files []string) (string, error) {
+	h := sha256.New()
+	for _, name := range files {
+		writeHashed(h, name)
+		blob, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		_, _ = h.Write(blob)
+		_, _ = h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// suiteSalt fingerprints everything that can change results besides
+// package contents and dependency summaries: the cache schema, the
+// analyzer set, the tests flag, and — when linting from a checkout
+// that contains them — the lint engine's and driver's own sources, so
+// changing an analyzer invalidates the whole cache instead of
+// replaying stale verdicts.
+func suiteSalt(l *Loader, opts TreeOptions) (string, error) {
+	h := sha256.New()
+	writeHashed(h, cacheSchema)
+	for _, a := range opts.Analyzers {
+		writeHashed(h, a.Name)
+	}
+	writeHashed(h, fmt.Sprintf("tests=%t", opts.Tests))
+	for _, rel := range []string{filepath.Join("internal", "lint"), filepath.Join("cmd", "vmplint")} {
+		dir := filepath.Join(l.ModuleRoot(), rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue // a tree without the lint sources has nothing to fingerprint
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writeHashed(h, filepath.Join(rel, name))
+			f, err := os.Open(filepath.Join(dir, name))
+			if err != nil {
+				return "", err
+			}
+			_, err = io.Copy(h, f)
+			_ = f.Close()
+			if err != nil {
+				return "", err
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// nodeKey derives a node's cache key from the suite salt, its identity
+// and contents, and its dependencies' published summary hashes (the
+// early cutoff: a dependency edit that leaves its exported facts
+// unchanged leaves dependents cached).
+func nodeKey(salt string, n *treeNode, depIdx []int, nodes []*treeNode, sumHashes []string, tests bool) string {
+	h := sha256.New()
+	writeHashed(h, salt)
+	writeHashed(h, n.path)
+	writeHashed(h, fmt.Sprintf("tests=%t", tests && n.requested))
+	writeHashed(h, n.fileHash)
+	idx := append([]int(nil), depIdx...)
+	sort.Ints(idx)
+	for _, j := range idx {
+		writeHashed(h, nodes[j].path)
+		writeHashed(h, sumHashes[j])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// concatSummaryHashes flattens a node's summaries into the dependency
+// component of its dependents' keys.
+func concatSummaryHashes(sums []*PackageSummary) string {
+	hashes := make([]string, 0, len(sums))
+	for _, s := range sums {
+		hashes = append(hashes, s.Path+"="+s.Hash)
+	}
+	sort.Strings(hashes)
+	return strings.Join(hashes, ",")
+}
+
+// writeHashed writes a length-delimited string into a hash.
+func writeHashed(h hash.Hash, s string) {
+	_, _ = fmt.Fprintf(h, "%d:%s", len(s), s)
+}

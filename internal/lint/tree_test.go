@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The cache-correctness suite builds a throwaway two-package module —
+// beta imports alpha — and walks the invalidation matrix: warm runs
+// replay byte-identical findings without analyzing anything, editing a
+// package re-analyzes only it and its dependents, and a dependency
+// edit that leaves the exported summary unchanged stops at the
+// summary-hash cutoff without touching dependents.
+
+const cacheAlphaSrc = `// Package alpha is a cache-correctness fixture dependency.
+package alpha
+
+import "time"
+
+// Stamp returns the wall-clock time.
+func Stamp() time.Time { return time.Now() }
+`
+
+const cacheBetaSrc = `// Package beta is a cache-correctness fixture dependent.
+package beta
+
+import "vmp/internal/alpha"
+
+// Latest wraps alpha.Stamp.
+func Latest() int64 { return alpha.Stamp().Unix() }
+`
+
+// writeCacheModule lays out the fixture module and returns its root
+// plus the two package directories.
+func writeCacheModule(t *testing.T) (root, alphaDir, betaDir string) {
+	t.Helper()
+	root = t.TempDir()
+	alphaDir = filepath.Join(root, "internal", "alpha")
+	betaDir = filepath.Join(root, "internal", "beta")
+	for path, src := range map[string]string{
+		filepath.Join(root, "go.mod"):       "module vmp\n\ngo 1.22\n",
+		filepath.Join(alphaDir, "alpha.go"): cacheAlphaSrc,
+		filepath.Join(betaDir, "beta.go"):   cacheBetaSrc,
+	} {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root, alphaDir, betaDir
+}
+
+// runCached is one RunTree pass over the fixture module with the full
+// analyzer suite and the given cache directory.
+func runCached(t *testing.T, root string, dirs []string, cacheDir string) ([]Diagnostic, *RunStats) {
+	t.Helper()
+	diags, stats, err := RunTree(root, dirs, TreeOptions{Analyzers: Analyzers(), CacheDir: cacheDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, stats
+}
+
+// marshalFindings renders findings the way vmplint -json does, so
+// "byte-identical" below means what the CI poisoning guard measures.
+func marshalFindings(t *testing.T, diags []Diagnostic) []byte {
+	t.Helper()
+	blob, err := JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestRunTreeCacheCorrectness(t *testing.T) {
+	root, alphaDir, betaDir := writeCacheModule(t)
+	dirs := []string{alphaDir, betaDir}
+	cacheDir := filepath.Join(root, ".vmplint-cache")
+
+	// Cold: both packages analyzed, and alpha's time.Now surfaces.
+	cold, stats := runCached(t, root, dirs, cacheDir)
+	if stats.Analyzed != 2 || stats.Cached != 0 {
+		t.Fatalf("cold run: analyzed=%d cached=%d, want 2/0", stats.Analyzed, stats.Cached)
+	}
+	if len(cold) != 1 || cold[0].Analyzer != "nondeterminism" {
+		t.Fatalf("cold findings = %v, want one nondeterminism finding", cold)
+	}
+	coldJSON := marshalFindings(t, cold)
+
+	// Warm: everything replays from cache, byte-identical.
+	warm, stats := runCached(t, root, dirs, cacheDir)
+	if stats.Analyzed != 0 || stats.Cached != 2 {
+		t.Fatalf("warm run: analyzed=%d cached=%d, want 0/2", stats.Analyzed, stats.Cached)
+	}
+	if got := marshalFindings(t, warm); !bytes.Equal(got, coldJSON) {
+		t.Fatalf("warm findings differ from cold:\ncold: %s\nwarm: %s", coldJSON, got)
+	}
+
+	// Edit the dependent: only beta re-analyzes.
+	edited := cacheBetaSrc + "\n// Epoch is the zero instant.\nfunc Epoch() int64 { return 0 }\n"
+	if err := os.WriteFile(filepath.Join(betaDir, "beta.go"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after, stats := runCached(t, root, dirs, cacheDir)
+	if stats.Analyzed != 1 || stats.Cached != 1 {
+		t.Fatalf("beta edit: analyzed=%d cached=%d, want 1/1", stats.Analyzed, stats.Cached)
+	}
+	for _, p := range stats.Packages {
+		if wantCached := p.Path == "vmp/internal/alpha"; p.Cached != wantCached {
+			t.Fatalf("beta edit: %s cached=%t, want %t", p.Path, p.Cached, wantCached)
+		}
+	}
+	if got := marshalFindings(t, after); !bytes.Equal(got, coldJSON) {
+		t.Fatalf("beta edit changed unrelated findings:\nbefore: %s\nafter: %s", coldJSON, got)
+	}
+
+	// Edit the dependency without changing its exported facts: alpha
+	// re-analyzes, but its summary hash is unchanged, so beta stays
+	// cached — the early cutoff.
+	rephrased := cacheAlphaSrc + "\nfunc ignoredDetail() int { return 1 }\n"
+	if err := os.WriteFile(filepath.Join(alphaDir, "alpha.go"), []byte(rephrased), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats = runCached(t, root, dirs, cacheDir)
+	if stats.Analyzed != 1 || stats.Cached != 1 {
+		t.Fatalf("neutral alpha edit: analyzed=%d cached=%d, want 1/1 (summary-hash cutoff)", stats.Analyzed, stats.Cached)
+	}
+	for _, p := range stats.Packages {
+		if wantCached := p.Path == "vmp/internal/beta"; p.Cached != wantCached {
+			t.Fatalf("neutral alpha edit: %s cached=%t, want %t", p.Path, p.Cached, wantCached)
+		}
+	}
+
+	// Change alpha's exported facts (a new looping exported function):
+	// the summary hash moves, so beta's key misses too.
+	factful := cacheAlphaSrc + "\n// Spin busy-loops forever.\nfunc Spin() {\n\tfor {\n\t}\n}\n"
+	if err := os.WriteFile(filepath.Join(alphaDir, "alpha.go"), []byte(factful), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats = runCached(t, root, dirs, cacheDir)
+	if stats.Analyzed != 2 || stats.Cached != 0 {
+		t.Fatalf("fact-changing alpha edit: analyzed=%d cached=%d, want 2/0", stats.Analyzed, stats.Cached)
+	}
+}
+
+// TestRunTreeUncachedMatchesRunPackages pins RunTree (no cache) to the
+// legacy whole-program path: same findings, every package analyzed.
+func TestRunTreeUncachedMatchesRunPackages(t *testing.T) {
+	root, alphaDir, betaDir := writeCacheModule(t)
+	diags, stats, err := RunTree(root, []string{alphaDir, betaDir}, TreeOptions{Analyzers: Analyzers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Analyzed != 2 || stats.Cached != 0 {
+		t.Fatalf("uncached run: analyzed=%d cached=%d, want 2/0", stats.Analyzed, stats.Cached)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range []string{alphaDir, betaDir} {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	want := RunPackages(pkgs, Analyzers())
+	if got, wantJSON := marshalFindings(t, diags), marshalFindings(t, want); !bytes.Equal(got, wantJSON) {
+		t.Fatalf("RunTree findings diverge from RunPackages:\ntree: %s\npkgs: %s", got, wantJSON)
+	}
+}
+
+// TestRunTreeDependencySummariesWithoutRequest checks that a package
+// imported by a requested one is pulled in for its summary (the
+// cross-package taint flows) without reporting its own findings.
+func TestRunTreeDependencySummariesWithoutRequest(t *testing.T) {
+	root, _, betaDir := writeCacheModule(t)
+	diags, stats, err := RunTree(root, []string{betaDir}, TreeOptions{Analyzers: Analyzers()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Analyzed != 2 {
+		t.Fatalf("analyzed=%d, want 2 (beta plus its alpha dependency)", stats.Analyzed)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("findings = %v, want none (alpha's finding is not requested)", diags)
+	}
+}
+
+// TestCacheRejectsForeignEntries checks the poisoning guards: a torn
+// entry, a foreign schema, and a key mismatch all degrade to misses.
+func TestCacheRejectsForeignEntries(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.put("good", []*PackageSummary{{Path: "vmp/internal/x", Hash: "h"}}, nil)
+	if cache.get("good") == nil {
+		t.Fatal("round-trip miss")
+	}
+	for name, blob := range map[string]string{
+		"torn":   `{"schema":"vmplint-cache-v1","key":"torn","summ`,
+		"schema": `{"schema":"other-tool-v9","key":"schema"}`,
+		"moved":  `{"schema":"vmplint-cache-v1","key":"elsewhere"}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if cache.get(name) != nil {
+			t.Fatalf("%s entry was accepted; want miss", name)
+		}
+	}
+}
