@@ -55,12 +55,13 @@ bench-live:
 	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkQueryUnderIngest' -benchmem ./internal/live/
 
 # bench-obs compares ingest throughput with the tracer disabled vs
-# enabled; the deltas are recorded in BENCH_obs.json. The disabled run
+# enabled vs the full self-measurement plane (sampler + series ring)
+# live; the deltas are recorded in BENCH_obs.json. The disabled run
 # must stay within a few percent of BENCH_live_ingest.json's baseline —
 # instrumentation is supposed to be free until a daemon opts in.
 .PHONY: bench-obs
 bench-obs:
-	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkIngestTraced' -benchmem -benchtime 3s -count 3 ./internal/live/
+	$(GO) test -run xxx -bench 'BenchmarkLiveIngest|BenchmarkIngestTraced|BenchmarkIngestSampled' -benchmem -benchtime 3s -count 3 ./internal/live/
 
 # bench-wire measures the wire path end to end: the binary codec in
 # isolation (encode/decode records/s, allocs), the JSONL scan it

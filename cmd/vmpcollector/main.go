@@ -27,12 +27,14 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8473", "listen address")
-		interval   = flag.Duration("log-every", time.Minute, "how often to log store size")
-		drain      = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
-		load       = flag.String("load", "", "JSONL dataset to preload into the store")
-		dump       = flag.String("dump", "", "JSONL file to write the store to on SIGINT/SIGTERM")
-		traceDepth = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
+		addr        = flag.String("addr", ":8473", "listen address")
+		interval    = flag.Duration("log-every", time.Minute, "how often to log store size")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
+		load        = flag.String("load", "", "JSONL dataset to preload into the store")
+		dump        = flag.String("dump", "", "JSONL file to write the store to on SIGINT/SIGTERM")
+		traceDepth  = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
+		sampleEvery = flag.Duration("sample-every", time.Second, "runtime-collector sampling cadence")
+		seriesDepth = flag.Int("series-depth", 600, "registry snapshots retained for /v1/series")
 	)
 	flag.Parse()
 
@@ -41,6 +43,9 @@ func main() {
 	tracer.SetEnabled(*traceDepth > 0)
 	reg := obs.NewRegistry()
 	collector := telemetry.NewCollectorObs(nil, reg, tracer)
+	collector.SetClock(clk)
+	series := obs.NewSeriesRing(*seriesDepth)
+	collector.SetSeries(series)
 	if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
@@ -55,6 +60,12 @@ func main() {
 		log.Printf("collector: preloaded %d records from %s", len(recs), *load)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	// The self-measurement plane: runtime stats plus the store-size
+	// gauge, sampled into the registry and the /v1/series ring.
+	sampler := obs.NewSampler(reg, series, clk, *sampleEvery)
+	storeRecords := reg.Gauge("collector_store_records")
+	sampler.AddSource(func() { storeRecords.Set(int64(collector.Store().Len())) })
+	go sampler.Run(ctx)
 	go func() {
 		// The wall clock is the right clock here: this is the live
 		// server's operational heartbeat, not study time. NewTicker

@@ -31,21 +31,23 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8474", "listen address")
-		shards     = flag.Int("shards", 8, "hash partitions for ingest")
-		queueDepth = flag.Int("queue-depth", 64, "queued batches per shard before backpressure")
-		batchMax   = flag.Int("batch-max", 4096, "records coalesced into one append")
-		epoch      = flag.Duration("epoch", 5*time.Second, "snapshot cadence")
-		retryAfter = flag.Duration("retry-after", 500*time.Millisecond, "retry hint on backpressure")
-		drain      = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
-		interval   = flag.Duration("log-every", time.Minute, "how often to log the published generation")
-		load       = flag.String("load", "", "JSONL dataset to preload before serving")
-		dump       = flag.String("dump", "", "JSONL file to write the final generation to on shutdown")
-		traceDepth = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
-		walDir     = flag.String("wal-dir", "", "write-ahead log directory; empty disables durability")
-		walFsync   = flag.String("wal-fsync", "batch", "WAL fsync policy: batch, interval, or off")
-		walSync    = flag.Duration("wal-sync-every", 25*time.Millisecond, "group-commit cadence for -wal-fsync interval")
-		walSegment = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
+		addr        = flag.String("addr", ":8474", "listen address")
+		shards      = flag.Int("shards", 8, "hash partitions for ingest")
+		queueDepth  = flag.Int("queue-depth", 64, "queued batches per shard before backpressure")
+		batchMax    = flag.Int("batch-max", 4096, "records coalesced into one append")
+		epoch       = flag.Duration("epoch", 5*time.Second, "snapshot cadence")
+		retryAfter  = flag.Duration("retry-after", 500*time.Millisecond, "retry hint on backpressure")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "in-flight request drain deadline on shutdown")
+		interval    = flag.Duration("log-every", time.Minute, "how often to log the published generation")
+		load        = flag.String("load", "", "JSONL dataset to preload before serving")
+		dump        = flag.String("dump", "", "JSONL file to write the final generation to on shutdown")
+		traceDepth  = flag.Int("trace-depth", 2048, "span/event ring capacity for /v1/trace; 0 disables tracing")
+		walDir      = flag.String("wal-dir", "", "write-ahead log directory; empty disables durability")
+		walFsync    = flag.String("wal-fsync", "batch", "WAL fsync policy: batch, interval, or off")
+		walSync     = flag.Duration("wal-sync-every", 25*time.Millisecond, "group-commit cadence for -wal-fsync interval")
+		walSegment  = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation threshold")
+		sampleEvery = flag.Duration("sample-every", time.Second, "runtime-collector sampling cadence")
+		seriesDepth = flag.Int("series-depth", 600, "registry snapshots retained for /v1/series")
 	)
 	flag.Parse()
 
@@ -53,6 +55,7 @@ func main() {
 	tracer := obs.NewTracer(clk, *traceDepth)
 	tracer.SetEnabled(*traceDepth > 0)
 	metrics := obs.NewRegistry()
+	series := obs.NewSeriesRing(*seriesDepth)
 	engine := live.NewEngine(live.Config{
 		Shards:     *shards,
 		QueueDepth: *queueDepth,
@@ -62,6 +65,7 @@ func main() {
 		Clock:      clk,
 		Metrics:    metrics,
 		Trace:      tracer,
+		Series:     series,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 
@@ -110,6 +114,15 @@ func main() {
 	}
 
 	go engine.Run(ctx)
+	// The self-measurement plane: one sampler publishes Go runtime
+	// stats plus the engine's and WAL's internal gauges, then records a
+	// registry snapshot into the series ring /v1/series serves.
+	sampler := obs.NewSampler(metrics, series, clk, *sampleEvery)
+	sampler.AddSource(engine.PublishGauges)
+	if wlog != nil {
+		sampler.AddSource(wlog.PublishGauges)
+	}
+	go sampler.Run(ctx)
 	go func() {
 		tick := time.NewTicker(*interval)
 		defer tick.Stop()

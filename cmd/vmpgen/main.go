@@ -24,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -231,6 +233,12 @@ type driver struct {
 	// response, kept here so drive's retry loop stays free of response
 	// plumbing.
 	retryAfterHint time.Duration
+
+	// rtts collects every POST attempt's round-trip time (202s and
+	// 429s alike) and waited the total Retry-After sleep, for the
+	// client-side latency summary drive prints at exit.
+	rtts   []time.Duration
+	waited time.Duration
 }
 
 func newDriver(encoding string, compress bool, seed uint64) (*driver, error) {
@@ -272,10 +280,12 @@ func (d *driver) drive(ctx context.Context, url string, recs []telemetry.ViewRec
 			return err
 		}
 		for attempt := 0; ; attempt++ {
+			attemptStart := d.clock.Now()
 			status, err := d.post(ctx, url, body)
 			if err != nil {
 				return err
 			}
+			d.rtts = append(d.rtts, d.clock.Now().Sub(attemptStart))
 			if status == http.StatusAccepted {
 				if d.acked != nil {
 					if err := telemetry.EncodeJSONL(d.acked, recs[lo:hi]); err != nil {
@@ -292,6 +302,7 @@ func (d *driver) drive(ctx context.Context, url string, recs []telemetry.ViewRec
 			if attempt >= retries {
 				return fmt.Errorf("batch at record %d still backpressured after %d retries", lo, retries)
 			}
+			d.waited += d.retryAfterHint
 			if err := d.wait(ctx, d.retryAfterHint); err != nil {
 				return err
 			}
@@ -302,7 +313,45 @@ func (d *driver) drive(ctx context.Context, url string, recs []telemetry.ViewRec
 		posted, elapsed.Round(time.Millisecond), float64(posted)/elapsed.Seconds(), backpressured,
 		map[bool]string{true: "binary", false: "jsonl"}[d.be.binary],
 		map[bool]string{true: "+gzip", false: ""}[d.be.compress])
+	fmt.Fprintln(os.Stderr, "vmpgen: "+d.latencySummary(backpressured))
 	return nil
+}
+
+// latencySummary renders the client-side view of the ingest SLO: exact
+// (not bucketed) quantiles over every POST round-trip this drive made,
+// plus the retry count and total Retry-After time waited out. The
+// server's /metrics histograms measure arrival→202; this measures what
+// a publisher's sensor would actually experience, queueing and
+// transport included.
+func (d *driver) latencySummary(retries int) string {
+	if len(d.rtts) == 0 {
+		return "post latency: no posts"
+	}
+	sorted := append([]time.Duration(nil), d.rtts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return fmt.Sprintf("post latency p50 %v p90 %v p99 %v max %v over %d posts (%d retries, %v waiting on Retry-After)",
+		quantileDur(sorted, 0.50), quantileDur(sorted, 0.90), quantileDur(sorted, 0.99),
+		sorted[len(sorted)-1], len(sorted), retries, d.waited.Round(time.Millisecond))
+}
+
+// quantileDur returns the q-th exact sample quantile of an ascending
+// slice (nearest-rank: the smallest element ≥ a fraction q of the
+// samples). Empty input returns 0; q outside [0,1] clamps.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
 }
 
 // post sends one encoded batch and returns the status code. On a 429

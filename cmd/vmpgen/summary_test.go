@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantileDur pins the nearest-rank estimator on a slice whose
+// quantiles are computable by inspection.
+func TestQuantileDur(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, time.Millisecond},
+		{0.50, 50 * time.Millisecond},
+		{0.90, 90 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+		{-1, time.Millisecond},      // clamps low
+		{2, 100 * time.Millisecond}, // clamps high
+	} {
+		if got := quantileDur(sorted, tc.q); got != tc.want {
+			t.Fatalf("quantileDur(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := quantileDur(nil, 0.5); got != 0 {
+		t.Fatalf("empty quantileDur = %v, want 0", got)
+	}
+	if got := quantileDur([]time.Duration{7 * time.Millisecond}, 0.99); got != 7*time.Millisecond {
+		t.Fatalf("single-sample p99 = %v, want the sample", got)
+	}
+}
+
+// TestLatencySummary checks the exit line carries the exact quantiles
+// of the recorded round trips and the accumulated waits.
+func TestLatencySummary(t *testing.T) {
+	d := &driver{}
+	if got := d.latencySummary(0); got != "post latency: no posts" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	for i := 100; i >= 1; i-- { // deliberately unsorted input
+		d.rtts = append(d.rtts, time.Duration(i)*time.Millisecond)
+	}
+	d.waited = 1500 * time.Millisecond
+	got := d.latencySummary(3)
+	for _, want := range []string{
+		"p50 50ms", "p90 90ms", "p99 99ms", "max 100ms",
+		"over 100 posts", "(3 retries", "1.5s waiting on Retry-After",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary %q missing %q", got, want)
+		}
+	}
+}

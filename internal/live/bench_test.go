@@ -1,6 +1,7 @@
 package live
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -58,6 +59,51 @@ func BenchmarkLiveIngest(b *testing.B) { benchIngest(b, false) }
 // BenchmarkIngestTraced runs the same workload with tracing enabled
 // (span and event rings of 4096).
 func BenchmarkIngestTraced(b *testing.B) { benchIngest(b, true) }
+
+// BenchmarkIngestSampled runs the untraced workload with the full
+// self-measurement plane live, exactly as vmpd wires it: a series
+// ring, a sampler goroutine on its production 1s cadence publishing
+// runtime stats and the engine's gauges, and a snapshot recorded per
+// sample. The delta against BenchmarkLiveIngest is the sampler's cost
+// to the ingest path — it should be noise, since sampling touches only
+// atomics the hot path already owns.
+func BenchmarkIngestSampled(b *testing.B) {
+	recs := genRecords(500)
+	cfg := Config{Shards: 8, QueueDepth: 64, Clock: simclock.NewManual(simclock.StudyStart)}
+	newWorld := func() (*Engine, context.CancelFunc) {
+		cfg.Series = obs.NewSeriesRing(600)
+		e := NewEngine(cfg)
+		s := obs.NewSampler(e.Metrics(), cfg.Series, cfg.Clock, time.Second)
+		s.AddSource(e.PublishGauges)
+		ctx, cancel := context.WithCancel(context.Background())
+		go s.Run(ctx)
+		return e, cancel
+	}
+	e, cancel := newWorld()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%200 == 0 {
+			b.StopTimer()
+			cancel()
+			e.Close()
+			e, cancel = newWorld()
+			b.StartTimer()
+		}
+		for {
+			res, err := e.Ingest(recs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Backpressured == 0 {
+				break
+			}
+		}
+	}
+	b.StopTimer()
+	cancel()
+	e.Close()
+	b.ReportMetric(float64(500*b.N)/b.Elapsed().Seconds(), "records/s")
+}
 
 // BenchmarkQueryUnderIngest measures query latency on the published
 // generation while a writer goroutine streams batches and a

@@ -58,15 +58,16 @@ type WAL interface {
 // atomic load per instrumentation site until a daemon opts in by
 // supplying an enabled obs.Tracer.
 type Config struct {
-	Shards     int            // hash partitions
-	QueueDepth int            // queued batches per shard before backpressure
-	BatchMax   int            // records coalesced into one pending append
-	EpochEvery time.Duration  // snapshot cadence used by Run
-	RetryAfter time.Duration  // hint returned with a backpressure rejection
-	Clock      simclock.Clock // time source (inject a manual clock in tests)
-	Metrics    *obs.Registry  // metrics destination
-	Trace      *obs.Tracer    // span/event destination (nil = disabled)
-	WAL        WAL            // durability hook (nil = no WAL)
+	Shards     int             // hash partitions
+	QueueDepth int             // queued batches per shard before backpressure
+	BatchMax   int             // records coalesced into one pending append
+	EpochEvery time.Duration   // snapshot cadence used by Run
+	RetryAfter time.Duration   // hint returned with a backpressure rejection
+	Clock      simclock.Clock  // time source (inject a manual clock in tests)
+	Metrics    *obs.Registry   // metrics destination
+	Trace      *obs.Tracer     // span/event destination (nil = disabled)
+	Series     *obs.SeriesRing // in-process time series served at /v1/series (nil = empty)
+	WAL        WAL             // durability hook (nil = no WAL)
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +176,9 @@ type Engine struct {
 	snapLatency   *obs.Histogram
 	queueDepth    *obs.Gauge
 	genRecords    *obs.Gauge
+	genEpoch      *obs.Gauge
+	genAgeMS      *obs.Gauge
+	shardDepth    []*obs.Gauge // one queue-depth gauge per shard
 }
 
 // NewEngine starts an engine: one consumer goroutine per shard, and an
@@ -195,14 +199,18 @@ func NewEngine(cfg Config) *Engine {
 		snapLatency:   cfg.Metrics.Histogram("live_snapshot_seconds", []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}),
 		queueDepth:    cfg.Metrics.Gauge("live_queue_depth_batches"),
 		genRecords:    cfg.Metrics.Gauge("live_generation_records"),
+		genEpoch:      cfg.Metrics.Gauge("live_generation_epoch"),
+		genAgeMS:      cfg.Metrics.Gauge("live_generation_age_ms"),
 	}
 	e.shards = make([]*shard, cfg.Shards)
+	e.shardDepth = make([]*obs.Gauge, cfg.Shards)
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			ch:    make(chan batchMsg, cfg.QueueDepth),
 			flush: make(chan chan struct{}),
 			quit:  make(chan struct{}),
 		}
+		e.shardDepth[i] = cfg.Metrics.Gauge(fmt.Sprintf("live_shard_%03d_queue_depth_batches", i))
 		e.wg.Add(1)
 		go e.runShard(e.shards[i])
 	}
@@ -216,6 +224,30 @@ func (e *Engine) Metrics() *obs.Registry { return e.cfg.Metrics }
 // Tracer returns the engine's span/event sink (disabled unless the
 // config supplied an enabled one).
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Series returns the configured in-process time series ring, nil when
+// the daemon did not opt into self-measurement sampling.
+func (e *Engine) Series() *obs.SeriesRing { return e.cfg.Series }
+
+// PublishGauges refreshes the engine's operational levels in its
+// registry: total and per-shard queue depths, and the published
+// generation's epoch, record count, and age. It is the engine's
+// obs.Sampler source — called on the sampling cadence so every series
+// point and every scrape carries current levels, not just the values
+// last touched by an ingest or snapshot.
+func (e *Engine) PublishGauges() {
+	total := 0
+	for i, sh := range e.shards {
+		n := len(sh.ch)
+		total += n
+		e.shardDepth[i].Set(int64(n))
+	}
+	e.queueDepth.Set(int64(total))
+	g := e.gen.Load()
+	e.genEpoch.Set(g.Epoch)
+	e.genRecords.Set(int64(g.Records))
+	e.genAgeMS.Set(e.clock.Now().Sub(g.Created).Milliseconds())
+}
 
 // RetryAfter returns the configured backpressure hint.
 func (e *Engine) RetryAfter() time.Duration { return e.cfg.RetryAfter }
@@ -491,6 +523,8 @@ func (e *Engine) Snapshot() *Generation {
 	e.gen.Store(g)
 	e.snapshots.Add(1)
 	e.genRecords.Set(int64(ds.Len()))
+	e.genEpoch.Set(g.Epoch)
+	e.genAgeMS.Set(0)
 	e.queueDepth.Set(int64(e.queuedBatches()))
 	e.snapLatency.Observe(e.clock.Now().Sub(start).Seconds())
 	e.tracer.Emit("generation_published",

@@ -24,6 +24,8 @@ type Server struct {
 	rejected   *obs.Counter
 	scanErrors *obs.Counter
 	qLatency   map[string]*obs.Histogram
+	ackBinary  *obs.Histogram // ingest.ack SLO: POST arrival → 202, binary frames
+	ackJSONL   *obs.Histogram // ingest.ack SLO: POST arrival → 202, JSONL
 
 	// decoders recycles wire decoders across ingest requests; a
 	// decoder's scratch is only reused after IngestSpan has copied the
@@ -35,6 +37,12 @@ type Server struct {
 // queryLatencyBounds are the per-endpoint latency buckets, in seconds.
 var queryLatencyBounds = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1}
 
+// ackLatencyBounds are the ingest.ack SLO buckets, in seconds: POST
+// arrival to the 202 acknowledgement, which under a batch-fsync WAL
+// includes the fsync tax, so the range reaches further than the query
+// buckets do.
+var ackLatencyBounds = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1, 5}
+
 // NewServer wraps an engine. Metrics go to the engine's registry.
 func NewServer(e *Engine) *Server {
 	reg := e.Metrics()
@@ -44,6 +52,8 @@ func NewServer(e *Engine) *Server {
 		rejected:   reg.Counter("live_ingest_rejected_total"),
 		scanErrors: reg.Counter("live_ingest_scan_errors_total"),
 		qLatency:   make(map[string]*obs.Histogram),
+		ackBinary:  reg.Histogram("live_ingest_ack_binary_seconds", ackLatencyBounds),
+		ackJSONL:   reg.Histogram("live_ingest_ack_jsonl_seconds", ackLatencyBounds),
 	}
 	for _, ep := range []string{"share", "top-publishers", "window"} {
 		s.qLatency[ep] = reg.Histogram("live_query_"+ep+"_seconds", queryLatencyBounds)
@@ -61,7 +71,9 @@ func NewServer(e *Engine) *Server {
 //	GET  /v1/query/top-publishers — ?n=10
 //	GET  /v1/query/window         — ?start=RFC3339&days=2
 //	GET  /v1/stats                — ingest counters + current epoch
-//	GET  /v1/metrics              — obs registry snapshot
+//	GET  /v1/metrics              — obs registry snapshot (JSON)
+//	GET  /metrics                 — same registry, Prometheus text format
+//	GET  /v1/series               — in-process time series (snapshots + rates)
 //	GET  /v1/trace                — recent spans, per-stage latency, event tail
 //	GET  /debug/vmp               — metrics + trace combined
 //	GET  /healthz                 — liveness
@@ -73,7 +85,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/query/top-publishers", s.query("top-publishers", s.topResponse))
 	mux.HandleFunc("/v1/query/window", s.query("window", s.windowResponse))
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	obs.Mount(mux, s.engine.Metrics(), s.tracer)
+	obs.Mount(mux, s.engine.Metrics(), s.tracer, s.engine.Series())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -86,6 +98,7 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { _ = r.Body.Close() }()
+	ack := obs.StartWatch(s.engine.clock)
 	root := s.tracer.Start("ingest.batch", 0)
 	ssp := s.tracer.Start("ingest.scan", root.ID())
 	dec := s.decoders.Get().(*wire.Decoder)
@@ -139,6 +152,14 @@ func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintf(w, `{"accepted":%d,"backpressured":0,"rejected":%d}`+"\n", res.Accepted, bad)
+	// The ingest.ack SLO window closes here: POST arrival → 202 on the
+	// wire, split by body encoding so the binary path's cheaper decode
+	// shows up as its own distribution.
+	if info.Binary {
+		ack.Stop(s.ackBinary)
+	} else {
+		ack.Stop(s.ackJSONL)
+	}
 	root.End(obs.KV("accepted", int64(res.Accepted)), obs.KV("rejected", int64(bad)))
 }
 

@@ -14,6 +14,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"sort"
@@ -93,12 +94,69 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // HistogramSnapshot is a histogram's point-in-time reading: Counts has
-// one entry per bound plus a final overflow entry.
+// one entry per bound plus a final overflow entry, and Quantiles holds
+// the exported SLO probes (p50/p90/p99/p999) interpolated from the
+// buckets at snapshot time — estimation is a read-side cost, never an
+// Observe-side one.
 type HistogramSnapshot struct {
-	Count  int64     `json:"count"`
-	Sum    float64   `json:"sum"`
-	Bounds []float64 `json:"le"`
-	Counts []int64   `json:"n"`
+	Count     int64              `json:"count"`
+	Sum       float64            `json:"sum"`
+	Bounds    []float64          `json:"le"`
+	Counts    []int64            `json:"n"`
+	Quantiles map[string]float64 `json:"q,omitempty"`
+}
+
+// quantileProbes are the SLO quantiles every histogram snapshot
+// exports. The names double as the JSON keys, so they sort (and render)
+// deterministically: p50 < p90 < p99 < p999.
+var quantileProbes = []struct {
+	name string
+	q    float64
+}{
+	{"p50", 0.50},
+	{"p90", 0.90},
+	{"p99", 0.99},
+	{"p999", 0.999},
+}
+
+// Quantile estimates the q-quantile (clamped to [0, 1]) of the
+// recorded distribution by linear interpolation inside the bucket
+// holding the target rank, the same estimator Prometheus's
+// histogram_quantile uses: the first bucket's lower edge is 0, and a
+// rank landing in the overflow bucket reports the highest finite
+// bound (the histogram cannot see past its own buckets). An empty
+// histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Counts {
+		prev := float64(cum)
+		cum += n
+		if n == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: the distribution's tail is beyond the
+			// last finite bound; report the bound rather than invent a
+			// shape for territory the histogram never measured.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*((rank-prev)/float64(n))
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Snapshot reads the histogram under a relaxed-consistency contract:
@@ -120,6 +178,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Count += n
 	}
 	s.Sum = math.Float64frombits(h.sumBits.Load())
+	if s.Count > 0 {
+		s.Quantiles = make(map[string]float64, len(quantileProbes))
+		for _, p := range quantileProbes {
+			s.Quantiles[p.name] = s.Quantile(p.q)
+		}
+	}
 	return s
 }
 
@@ -167,7 +231,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with bounds on
-// first use. Later calls ignore bounds and return the existing one.
+// first use. A later call with the same bounds returns the existing
+// histogram; a later call with *different* bounds panics — silently
+// returning the first registration would skew every observation the
+// second call site records into buckets it never asked for, which is
+// programmer error exactly like unsorted bounds.
 func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -175,8 +243,26 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		h = NewHistogram(bounds)
 		r.histograms[name] = h
+		return h
+	}
+	if !boundsEqual(h.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds (%v, was %v)",
+			name, bounds, h.bounds))
 	}
 	return h
+}
+
+// boundsEqual reports whether two bound slices are element-wise equal.
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Snapshot is the registry's point-in-time reading, the /v1/metrics

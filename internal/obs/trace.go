@@ -368,11 +368,21 @@ func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
 // Mount registers the shared observability surface on mux — the one
 // substrate both daemons (vmpd and vmpcollector) report through:
 //
-//	GET /v1/metrics — registry snapshot (counters, gauges, histograms)
+//	GET /v1/metrics — registry snapshot (counters, gauges, histograms) as JSON
+//	GET /metrics    — the same registry in Prometheus text exposition format
+//	GET /v1/series  — the in-process time series (recent registry snapshots + rates)
 //	GET /v1/trace   — recent spans, per-stage latency, event tail
 //	GET /debug/vmp  — metrics and trace combined
-func Mount(mux *http.ServeMux, reg *Registry, tr *Tracer) {
+//
+// A nil series mounts an empty ring, so the endpoint shape is the same
+// whether or not the daemon runs a Sampler.
+func Mount(mux *http.ServeMux, reg *Registry, tr *Tracer, series *SeriesRing) {
+	if series == nil {
+		series = NewSeriesRing(1)
+	}
 	mux.Handle("/v1/metrics", reg.Handler())
+	mux.Handle("/metrics", PromHandler(reg))
+	mux.Handle("/v1/series", series.Handler())
 	mux.Handle("/v1/trace", tr.Handler())
 	mux.Handle("/debug/vmp", DebugHandler(reg, tr))
 }

@@ -245,11 +245,11 @@ func TestMountAndDebugHandler(t *testing.T) {
 	tr.Start("epoch.cut", 0).End(KV("epoch", 1))
 
 	mux := http.NewServeMux()
-	Mount(mux, reg, tr)
+	Mount(mux, reg, tr, nil)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
-	for _, path := range []string{"/v1/metrics", "/v1/trace", "/debug/vmp"} {
+	for _, path := range []string{"/v1/metrics", "/v1/trace", "/debug/vmp", "/v1/series"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)

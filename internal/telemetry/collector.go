@@ -11,8 +11,14 @@ import (
 
 	"vmp/internal/manifest"
 	"vmp/internal/obs"
+	"vmp/internal/simclock"
 	"vmp/internal/wire"
 )
+
+// ackBounds are the collector's ingest.ack SLO buckets, in seconds:
+// POST arrival to the 202 acknowledgement. The collector has no WAL in
+// front of the store, so its tail is shorter than the serving plane's.
+var ackBounds = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 1}
 
 // boolAttr renders a bool as a 0/1 span attribute.
 func boolAttr(b bool) int64 {
@@ -51,10 +57,14 @@ type Collector struct {
 	store  *Store
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	clock  simclock.Clock
+	series *obs.SeriesRing
 
 	ingested   *obs.Counter
 	rejected   *obs.Counter
 	scanErrors *obs.Counter
+	ackBinary  *obs.Histogram // ingest.ack SLO: POST arrival → 202, binary frames
+	ackJSONL   *obs.Histogram // ingest.ack SLO: POST arrival → 202, JSONL
 
 	// decoders recycles wire decoders across ingest requests; a
 	// decoder's scratch is only reused after Store.Append has copied
@@ -87,13 +97,29 @@ func NewCollectorObs(store *Store, reg *obs.Registry, tr *obs.Tracer) *Collector
 		store:      store,
 		reg:        reg,
 		tracer:     tr,
+		clock:      simclock.Wall(),
 		ingested:   reg.Counter("collector_ingested_total"),
 		rejected:   reg.Counter("collector_rejected_total"),
 		scanErrors: reg.Counter("collector_scan_errors_total"),
+		ackBinary:  reg.Histogram("collector_ingest_ack_binary_seconds", ackBounds),
+		ackJSONL:   reg.Histogram("collector_ingest_ack_jsonl_seconds", ackBounds),
 	}
 	c.decoders.New = func() any { return wire.NewDecoder() }
 	return c
 }
+
+// SetClock replaces the ack-latency time source (the wall clock by
+// default). Call before serving; tests use a simclock.ManualClock so
+// latency observations are deterministic.
+func (c *Collector) SetClock(clock simclock.Clock) {
+	if clock != nil {
+		c.clock = clock
+	}
+}
+
+// SetSeries attaches an in-process time-series ring; MountObs then
+// serves it at /v1/series. Call before MountObs.
+func (c *Collector) SetSeries(series *obs.SeriesRing) { c.series = series }
 
 // Store returns the backing store.
 func (c *Collector) Store() *Store { return c.store }
@@ -123,6 +149,7 @@ func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer func() { _ = r.Body.Close() }()
+	ack := obs.StartWatch(c.clock)
 	root := c.tracer.Start("ingest.batch", 0)
 	ssp := c.tracer.Start("ingest.scan", root.ID())
 	dec := c.decoders.Get().(*wire.Decoder)
@@ -158,6 +185,13 @@ func (c *Collector) handleViews(w http.ResponseWriter, r *http.Request) {
 		obs.KV("records", int64(len(batch))), obs.KV("rejected", int64(bad)))
 	w.WriteHeader(http.StatusAccepted)
 	fmt.Fprintf(w, `{"accepted":%d,"rejected":%d}`+"\n", len(batch), bad)
+	// The ingest.ack SLO window closes at the 202, split by body
+	// encoding so each wire path gets its own distribution.
+	if info.Binary {
+		ack.Stop(c.ackBinary)
+	} else {
+		ack.Stop(c.ackJSONL)
+	}
 	root.End(obs.KV("accepted", int64(len(batch))), obs.KV("rejected", int64(bad)))
 }
 
@@ -172,12 +206,13 @@ func (c *Collector) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // MountObs registers the shared observability endpoints (/v1/metrics,
-// /v1/trace, /debug/vmp) for the collector's registry and tracer on
-// mux. Handler deliberately does not call this: callers opt in, so a
-// collector embedded in a larger daemon can expose one combined
-// surface instead.
+// /metrics, /v1/series, /v1/trace, /debug/vmp) for the collector's
+// registry, tracer, and series ring (SetSeries; absent one, /v1/series
+// serves an empty ring) on mux. Handler deliberately does not call
+// this: callers opt in, so a collector embedded in a larger daemon can
+// expose one combined surface instead.
 func (c *Collector) MountObs(mux *http.ServeMux) {
-	obs.Mount(mux, c.reg, c.tracer)
+	obs.Mount(mux, c.reg, c.tracer, c.series)
 }
 
 // Summary is the /v1/summary payload: the coarse dataset breakdown a

@@ -1,0 +1,90 @@
+package wal
+
+import (
+	"os"
+	"testing"
+
+	"vmp/internal/obs"
+)
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestBacklogAndGauges pins the self-measurement contract: Backlog
+// reports the segment files and bytes a boot-time Replay would stream,
+// PublishGauges mirrors it into the registry, and a covering Commit
+// returns both to zero.
+func TestBacklogAndGauges(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	l := openLog(t, dir, Options{Policy: PolicyBatch, Metrics: reg})
+
+	if segs, bytes := l.Backlog(); segs != 0 || bytes != 0 {
+		t.Fatalf("empty log backlog = %d segments, %d bytes", segs, bytes)
+	}
+
+	recs := genRecords(800)
+	if err := l.AppendBatch(partition(recs, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	segs, bytes := l.Backlog()
+	if segs != 4 {
+		t.Fatalf("backlog segments = %d, want one active per shard", segs)
+	}
+	if bytes <= 0 {
+		t.Fatalf("backlog bytes = %d, want > 0", bytes)
+	}
+
+	l.PublishGauges()
+	snap := reg.Snapshot()
+	if snap.Gauges["wal_backlog_segments"] != int64(segs) {
+		t.Fatalf("wal_backlog_segments gauge = %d, want %d", snap.Gauges["wal_backlog_segments"], segs)
+	}
+	if snap.Gauges["wal_backlog_bytes"] != bytes {
+		t.Fatalf("wal_backlog_bytes gauge = %d, want %d", snap.Gauges["wal_backlog_bytes"], bytes)
+	}
+
+	// A covering commit truncates every segment the checkpoint covers,
+	// so the backlog — and, after the next publish, the gauges — drop
+	// to zero.
+	if err := l.Commit(1, recs, l.Bounds(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if segs, bytes := l.Backlog(); segs != 0 || bytes != 0 {
+		t.Fatalf("post-commit backlog = %d segments, %d bytes", segs, bytes)
+	}
+	l.PublishGauges()
+	snap = reg.Snapshot()
+	if snap.Gauges["wal_backlog_segments"] != 0 || snap.Gauges["wal_backlog_bytes"] != 0 {
+		t.Fatalf("post-commit gauges = %+v", snap.Gauges)
+	}
+}
+
+// TestBacklogCountsClosedSegments forces rotation with a tiny segment
+// threshold and checks closed segments' on-disk bytes are counted, not
+// just the active files' write offsets.
+func TestBacklogCountsClosedSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openLog(t, dir, Options{Shards: 2, Policy: PolicyOff, SegmentBytes: 1024})
+	if err := l.AppendBatch(partition(genRecords(2000), 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	files := segmentFiles(t, dir)
+	segs, bytes := l.Backlog()
+	if segs != len(files) {
+		t.Fatalf("backlog segments = %d, want %d on-disk files", segs, len(files))
+	}
+	var disk int64
+	for _, p := range files {
+		disk += fileSize(t, p)
+	}
+	if bytes != disk {
+		t.Fatalf("backlog bytes = %d, want %d on disk", bytes, disk)
+	}
+}

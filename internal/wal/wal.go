@@ -200,6 +200,8 @@ type Log struct {
 	tornTails *obs.Counter // wal_torn_tail_total: torn tails recovered
 	errors    *obs.Counter // wal_errors_total: background sync failures
 	fsyncSec  *obs.Histogram
+	backSegs  *obs.Gauge // wal_backlog_segments: live segment files
+	backBytes *obs.Gauge // wal_backlog_bytes: bytes not yet folded into a checkpoint
 }
 
 // Open opens (creating if needed) the log rooted at opts.Dir: it
@@ -230,6 +232,8 @@ func Open(opts Options) (*Log, error) {
 		tornTails: opts.Metrics.Counter("wal_torn_tail_total"),
 		errors:    opts.Metrics.Counter("wal_errors_total"),
 		fsyncSec:  opts.Metrics.Histogram("wal_fsync_seconds", []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5}),
+		backSegs:  opts.Metrics.Gauge("wal_backlog_segments"),
+		backBytes: opts.Metrics.Gauge("wal_backlog_bytes"),
 	}
 	if err := l.scanDir(); err != nil {
 		return nil, err
@@ -561,6 +565,45 @@ func (l *Log) syncLocked(parent obs.SpanID) error {
 	}
 	sp.End(obs.KV("files", n))
 	return nil
+}
+
+// Backlog reports the log's replay debt: how many segment files exist
+// (active and closed, across live and stale shards) and how many bytes
+// they hold — everything a boot-time Replay would have to stream
+// before the listener opens. Active segments report their tracked
+// write offset; closed segments are stat'ed, and one that cannot be
+// stat'ed (racing a concurrent Commit truncation) contributes its file
+// to the count but no bytes.
+func (l *Log) Backlog() (segments int, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	count := func(segs []segmentInfo, active *os.File, activeSize int64) {
+		for i, seg := range segs {
+			segments++
+			if active != nil && i == len(segs)-1 {
+				bytes += activeSize
+				continue
+			}
+			if fi, err := os.Stat(seg.path); err == nil {
+				bytes += fi.Size()
+			}
+		}
+	}
+	for _, sh := range l.shards {
+		count(sh.segs, sh.f, sh.size)
+	}
+	for _, st := range l.stale {
+		count(st.segs, nil, 0)
+	}
+	return segments, bytes
+}
+
+// PublishGauges refreshes the log's backlog gauges from Backlog. The
+// obs sampler calls it on every sampling pass.
+func (l *Log) PublishGauges() {
+	segs, bytes := l.Backlog()
+	l.backSegs.Set(int64(segs))
+	l.backBytes.Set(bytes)
 }
 
 // Sync forces an fsync of every dirty shard file — the group-commit

@@ -23,8 +23,8 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "smoke: building vmpd, vmpgen, vmpstudy"
-go build -o "$DIR" ./cmd/vmpd ./cmd/vmpgen ./cmd/vmpstudy
+echo "smoke: building vmpd, vmpgen, vmpstudy, vmptop"
+go build -o "$DIR" ./cmd/vmpd ./cmd/vmpgen ./cmd/vmpstudy ./cmd/vmptop
 
 echo "smoke: generating dataset slice"
 "$DIR/vmpgen" -stride 24 -o "$DIR/views.jsonl"
@@ -92,10 +92,92 @@ drive_and_query() {
 	curl -sf "http://$addr/v1/query/top-publishers?n=10" >"$DIR/${tag}_top.json"
 }
 
+# check_ack_quantiles ADDR HIST: require the ingest.ack histogram HIST
+# in /v1/metrics to carry a count covering the drive and a nonzero p50.
+check_ack_quantiles() {
+	addr="$1"
+	hist="$2"
+	echo "smoke: checking $hist quantiles"
+	METRICS=$(curl -sf "http://$addr/v1/metrics")
+	case "$METRICS" in
+	*"\"$hist\""*) ;;
+	*)
+		echo "smoke: $hist missing from /v1/metrics" >&2
+		exit 1
+		;;
+	esac
+	P50=$(printf '%s' "$METRICS" | sed -n "s/.*\"$hist\":{[^{]*{\"p50\":\([^,}]*\).*/\1/p")
+	if [ -z "$P50" ]; then
+		echo "smoke: $hist has no p50 quantile (empty histogram?): $METRICS" >&2
+		exit 1
+	fi
+	case "$P50" in
+	0 | 0.0 | -*)
+		echo "smoke: $hist p50 = $P50, want > 0" >&2
+		exit 1
+		;;
+	esac
+	echo "smoke: $hist p50 = ${P50}s"
+}
+
+# check_prom ADDR: require /metrics to parse as Prometheus text format
+# 0.0.4 — every line a TYPE comment or a sample — and to carry the
+# ingest counter and ack histogram families.
+check_prom() {
+	addr="$1"
+	echo "smoke: checking /metrics Prometheus exposition"
+	curl -sf "http://$addr/metrics" >"$DIR/metrics.prom"
+	if [ ! -s "$DIR/metrics.prom" ]; then
+		echo "smoke: /metrics is empty" >&2
+		exit 1
+	fi
+	BAD=$(grep -cvE '^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"]+"\})? [0-9eE.+-]+|[a-zA-Z_:][a-zA-Z0-9_:]*_bucket\{le="\+Inf"\} [0-9]+)$' "$DIR/metrics.prom" || true)
+	if [ "$BAD" -ne 0 ]; then
+		echo "smoke: $BAD /metrics lines violate the exposition grammar:" >&2
+		grep -vE '^(# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"]+"\})? [0-9eE.+-]+|[a-zA-Z_:][a-zA-Z0-9_:]*_bucket\{le="\+Inf"\} [0-9]+)$' "$DIR/metrics.prom" >&2
+		exit 1
+	fi
+	for want in "live_ingest_records_total $RECORDS" "# TYPE live_ingest_ack_jsonl_seconds histogram"; do
+		if ! grep -qF "$want" "$DIR/metrics.prom"; then
+			echo "smoke: /metrics missing \"$want\"" >&2
+			exit 1
+		fi
+	done
+}
+
+# check_series ADDR: wait for the runtime sampler to record a point
+# carrying the ingest counter, then point vmptop -once at it.
+check_series() {
+	addr="$1"
+	echo "smoke: waiting for a /v1/series sample"
+	i=0
+	until curl -sf "http://$addr/v1/series" | grep -q "\"live_ingest_records_total\":$RECORDS"; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "smoke: /v1/series never recorded the ingest counter" >&2
+			curl -sf "http://$addr/v1/series" >&2 || true
+			exit 1
+		fi
+		sleep 0.1
+	done
+	echo "smoke: rendering one vmptop frame"
+	"$DIR/vmptop" -addr "http://$addr" -once >"$DIR/vmptop.txt"
+	for want in "ingest" "runtime"; do
+		if ! grep -q "$want" "$DIR/vmptop.txt"; then
+			echo "smoke: vmptop frame missing \"$want\" row:" >&2
+			cat "$DIR/vmptop.txt" >&2
+			exit 1
+		fi
+	done
+}
+
 ADDR="127.0.0.1:18474"
 echo "smoke: booting vmpd on $ADDR (JSONL run)"
 boot_vmpd "$ADDR"
 drive_and_query "$ADDR" online
+check_ack_quantiles "$ADDR" live_ingest_ack_jsonl_seconds
+check_prom "$ADDR"
+check_series "$ADDR"
 
 echo "smoke: checking /v1/trace recorded the epoch cut"
 TRACE=$(curl -sf "http://$ADDR/v1/trace")
@@ -121,6 +203,7 @@ ADDR2="127.0.0.1:18475"
 echo "smoke: booting vmpd on $ADDR2 (binary+gzip run)"
 boot_vmpd "$ADDR2"
 drive_and_query "$ADDR2" binary -encode binary -compress
+check_ack_quantiles "$ADDR2" live_ingest_ack_binary_seconds
 
 echo "smoke: checking binary+gzip ingest answers match the JSONL run"
 cmp "$DIR/online_share.json" "$DIR/binary_share.json" || {
